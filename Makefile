@@ -1,0 +1,58 @@
+# Reproduction workflow for "Scalable Algorithms for Densest Subgraph
+# Discovery" (ICDE 2023). Stdlib-only Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test race cover fuzz bench repro figures datasets examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/dist
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Regenerate every table and figure of the paper's evaluation as text
+# tables (EXPERIMENTS.md documents the expected shapes).
+repro:
+	$(GO) run ./cmd/dsdbench -scale 0.1 -budget 10s
+
+# The same figures as ASCII charts.
+figures:
+	$(GO) run ./cmd/dsdbench -exp exp1,exp5 -scale 0.1 -budget 10s -chart
+
+# Materialize the twelve dataset scale models into ./data.
+datasets:
+	mkdir -p data
+	$(GO) run ./cmd/dsdgen -all -scale 0.1 -dir data
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/community
+	$(GO) run ./examples/fraud
+	$(GO) run ./examples/webspam
+	$(GO) run ./examples/motifs
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/ecommerce
+
+clean:
+	rm -rf data test_output.txt bench_output.txt

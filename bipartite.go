@@ -1,0 +1,42 @@
+package dsd
+
+import "repro/internal/bipartite"
+
+// BipartiteGraph is an immutable bipartite graph (left side L, right side
+// R) supporting (α, β)-core queries and densest bipartite subgraph
+// discovery — the bipartite branch of the paper's related work.
+type BipartiteGraph struct {
+	b *bipartite.Graph
+}
+
+// BipartiteEdge links left vertex L to right vertex R.
+type BipartiteEdge = bipartite.Edge
+
+// NewBipartite builds a bipartite graph on nl left and nr right vertices.
+// Panics on out-of-range endpoints; duplicate edges are dropped.
+func NewBipartite(nl, nr int, edges []BipartiteEdge) *BipartiteGraph {
+	return &BipartiteGraph{b: bipartite.New(nl, nr, edges)}
+}
+
+// NL and NR return the side sizes; M the edge count.
+func (bg *BipartiteGraph) NL() int  { return bg.b.NL() }
+func (bg *BipartiteGraph) NR() int  { return bg.b.NR() }
+func (bg *BipartiteGraph) M() int64 { return bg.b.M() }
+
+// ABCore returns the (α, β)-core: the maximal (L', R') where every left
+// vertex keeps at least α right neighbors and every right vertex at least
+// β left neighbors (Liu et al., the paper's [54]). Empty cores return
+// nil, nil.
+func (bg *BipartiteGraph) ABCore(alpha, beta int32) (left, right []int32) {
+	return bg.b.ABCore(alpha, beta)
+}
+
+// BetaMax returns the largest β with a non-empty (α, β)-core.
+func (bg *BipartiteGraph) BetaMax(alpha int32) int32 { return bg.b.BetaMax(alpha) }
+
+// DensestSubgraph peels to the densest bipartite subgraph under
+// |E|/(|L'|+|R'|) — a 2-approximation, Charikar's argument verbatim.
+func (bg *BipartiteGraph) DensestSubgraph() (left, right []int32, density float64) {
+	res := bg.b.Densest()
+	return res.Left, res.Right, res.Density
+}

@@ -1,0 +1,169 @@
+// Command dsd runs a densest-subgraph algorithm on a graph file and prints
+// the subgraph found.
+//
+// Usage:
+//
+//	dsd -in graph.txt [-directed] [-algo pkmc|local|pkc|bz|charikar|greedypp|pbu|pfw|exact|exact-pruned]
+//	    [-algo pwc|pxy|pbs|pfks|pbd|brute]      (directed families)
+//	    [-p N] [-budget 30s] [-verbose]
+//
+// The input format is sniffed: a whitespace edge list ("u v" per line,
+// '%'/'#' comments), the compact binary format written by dsdgen -binary,
+// either optionally gzipped. For undirected runs the default algorithm is
+// PKMC; for -directed it is PWC — the paper's two contributions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dsd", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "input graph file (required)")
+		directed = fs.Bool("directed", false, "treat the input as a digraph and solve DDS")
+		algo     = fs.String("algo", "", "algorithm (default: pkmc undirected, pwc directed)")
+		workers  = fs.Int("p", 0, "worker threads (0 = GOMAXPROCS)")
+		budget   = fs.Duration("budget", 0, "time budget for slow baselines (0 = unlimited)")
+		verbose  = fs.Bool("verbose", false, "print the vertex sets, not just their sizes")
+		mode     = fs.String("mode", "solve", "solve | cores (core-number histogram) | skyline (directed cn-pairs) | tiers (density-friendly decomposition)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	opts := dsd.Options{Workers: *workers, Budget: *budget}
+	if *mode != "solve" {
+		return analyze(*in, *mode, *directed, *workers, out)
+	}
+	start := time.Now()
+	if *directed {
+		d, err := dsd.LoadDigraph(*in)
+		if err != nil {
+			return err
+		}
+		loadTime := time.Since(start)
+		start = time.Now()
+		res, err := dsd.SolveDDS(d, dsd.Algo(*algo), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "graph: n=%d m=%d (loaded in %v)\n", d.N(), d.M(), loadTime.Round(time.Millisecond))
+		fmt.Fprintf(out, "algorithm: %s (%v)\n", res.Algorithm, time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(out, "densest (S,T): |S|=%d |T|=%d density=%.6f", len(res.S), len(res.T), res.Density)
+		if res.XStar > 0 {
+			fmt.Fprintf(out, "  [x*=%d y*=%d]", res.XStar, res.YStar)
+		}
+		if res.TimedOut {
+			fmt.Fprintf(out, "  (budget exhausted: best-so-far)")
+		}
+		fmt.Fprintln(out)
+		if *verbose {
+			fmt.Fprintf(out, "S = %v\nT = %v\n", res.S, res.T)
+		}
+		return nil
+	}
+
+	g, err := dsd.LoadGraph(*in)
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(start)
+	start = time.Now()
+	res, err := dsd.SolveUDS(g, dsd.Algo(*algo), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph: n=%d m=%d (loaded in %v)\n", g.N(), g.M(), loadTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "algorithm: %s (%v)\n", res.Algorithm, time.Since(start).Round(time.Microsecond))
+	fmt.Fprintf(out, "densest subgraph: |S|=%d density=%.6f", len(res.Vertices), res.Density)
+	if res.KStar > 0 {
+		fmt.Fprintf(out, "  [k*=%d]", res.KStar)
+	}
+	fmt.Fprintln(out)
+	if *verbose {
+		fmt.Fprintf(out, "S = %v\n", res.Vertices)
+	}
+	return nil
+}
+
+// analyze handles the non-solve inspection modes.
+func analyze(path, mode string, directed bool, workers int, out io.Writer) error {
+	switch mode {
+	case "cores":
+		if directed {
+			return fmt.Errorf("-mode cores applies to undirected graphs")
+		}
+		g, err := dsd.LoadGraph(path)
+		if err != nil {
+			return err
+		}
+		cores := dsd.CoreNumbers(g, workers)
+		hist := map[int32]int{}
+		var kstar int32
+		for _, c := range cores {
+			hist[c]++
+			if c > kstar {
+				kstar = c
+			}
+		}
+		fmt.Fprintf(out, "core decomposition: n=%d k*=%d\n", g.N(), kstar)
+		for k := int32(0); k <= kstar; k++ {
+			if hist[k] > 0 {
+				fmt.Fprintf(out, "  core %4d: %d vertices\n", k, hist[k])
+			}
+		}
+		return nil
+	case "skyline":
+		if !directed {
+			return fmt.Errorf("-mode skyline requires -directed")
+		}
+		d, err := dsd.LoadDigraph(path)
+		if err != nil {
+			return err
+		}
+		sky := dsd.CNPairSkyline(d, workers)
+		fmt.Fprintf(out, "cn-pair skyline (%d maximal cores):\n", len(sky))
+		var best int64
+		for _, pr := range sky {
+			fmt.Fprintf(out, "  [%d, %d] (x*y = %d)\n", pr[0], pr[1], int64(pr[0])*int64(pr[1]))
+			if p := int64(pr[0]) * int64(pr[1]); p > best {
+				best = p
+			}
+		}
+		fmt.Fprintf(out, "w* = %d\n", best)
+		return nil
+	case "tiers":
+		if directed {
+			return fmt.Errorf("-mode tiers applies to undirected graphs")
+		}
+		g, err := dsd.LoadGraph(path)
+		if err != nil {
+			return err
+		}
+		tiers := dsd.DensityFriendlyDecomposition(g, workers)
+		fmt.Fprintf(out, "density-friendly decomposition (%d tiers):\n", len(tiers))
+		for i, tier := range tiers {
+			fmt.Fprintf(out, "  tier %d: %d vertices @ density %.4f\n", i+1, len(tier.Vertices), tier.Density)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q (solve | cores | skyline | tiers)", mode)
+	}
+}

@@ -1,0 +1,171 @@
+// Command dsdbench regenerates the paper's evaluation tables and figures
+// on the synthetic dataset scale models.
+//
+// Usage:
+//
+//	dsdbench                          # run everything at scale 0.1
+//	dsdbench -exp exp1,exp2           # selected experiments
+//	dsdbench -exp exp5 -scale 0.25 -budget 60s -p 4
+//	dsdbench -exp datasets            # just Tables 4 and 5
+//
+// Experiments: datasets (Tables 4/5), exp1 (Fig 5), exp2 (Table 6),
+// exp3 (Fig 6), exp4 (Fig 7), exp5 (Fig 8), exp6 (Table 7), exp7 (Fig 9),
+// exp8 (Fig 10), ratios (approximation quality vs exact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dsdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
+	var (
+		exps    = fs.String("exp", "all", "comma-separated experiments (all | datasets | exp1..exp8 | ratios | extensions)")
+		scale   = fs.Float64("scale", 0.1, "dataset scale multiplier")
+		workers = fs.Int("p", 0, "default thread count (0 = GOMAXPROCS)")
+		budget  = fs.Duration("budget", 30*time.Second, "per-run budget for slow baselines")
+		threads = fs.String("threads", "", "comma-separated thread sweep for exp3/exp7 (default 1,2,4,8)")
+		chart   = fs.Bool("chart", false, "render figures as ASCII charts instead of tables")
+		asJSON  = fs.Bool("json", false, "emit raw measurement rows as JSON (overrides -chart)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Budget: *budget}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			var p int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p < 1 {
+				return fmt.Errorf("bad -threads entry %q", part)
+			}
+			cfg.ThreadSweep = append(cfg.ThreadSweep, p)
+		}
+	}
+
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		selected[strings.TrimSpace(e)] = true
+	}
+	runAll := selected["all"]
+	run := func(name string) bool { return runAll || selected[name] }
+
+	if *asJSON {
+		var all []bench.Row
+		collect := func(name string, f func(bench.Config) []bench.Row) {
+			if run(name) {
+				all = append(all, f(cfg)...)
+			}
+		}
+		collect("exp1", bench.Exp1)
+		collect("exp2", bench.Exp2)
+		collect("exp3", bench.Exp3)
+		collect("exp4", bench.Exp4)
+		collect("exp5", bench.Exp5)
+		collect("exp6", bench.Exp6)
+		collect("exp7", bench.Exp7)
+		collect("exp8", bench.Exp8)
+		collect("ratios", bench.Ratios)
+		if selected["extensions"] {
+			all = append(all, bench.Extensions(cfg)...)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
+
+	if run("datasets") {
+		bench.Datasets(w, cfg)
+	}
+	if run("exp1") {
+		rows := bench.Exp1(cfg)
+		if *chart {
+			bench.RenderBars(w, "Exp-1 / Fig. 5: UDS efficiency", rows)
+		} else {
+			bench.FormatRows(w, "Exp-1 / Fig. 5: UDS efficiency", rows)
+		}
+		printSpeedups(w, rows, "PKMC", []string{"PBU", "Local", "PKC", "PFW"})
+	}
+	if run("exp2") {
+		bench.FormatRows(w, "Exp-2 / Table 6: core-algorithm iteration counts", bench.Exp2(cfg))
+	}
+	if run("exp3") {
+		if *chart {
+			bench.RenderSeries(w, "Exp-3 / Fig. 6: UDS runtime vs threads", bench.Exp3(cfg))
+		} else {
+			bench.FormatRows(w, "Exp-3 / Fig. 6: UDS runtime vs threads", bench.Exp3(cfg))
+		}
+	}
+	if run("exp4") {
+		if *chart {
+			bench.RenderSeries(w, "Exp-4 / Fig. 7: UDS scalability vs edge fraction", bench.Exp4(cfg))
+		} else {
+			bench.FormatRows(w, "Exp-4 / Fig. 7: UDS scalability vs edge fraction", bench.Exp4(cfg))
+		}
+	}
+	if run("exp5") {
+		rows := bench.Exp5(cfg)
+		if *chart {
+			bench.RenderBars(w, "Exp-5 / Fig. 8: DDS efficiency", rows)
+		} else {
+			bench.FormatRows(w, "Exp-5 / Fig. 8: DDS efficiency (* = budget exhausted)", rows)
+		}
+		printSpeedups(w, rows, "PWC", []string{"PXY", "PBD", "PFW"})
+	}
+	if run("exp6") {
+		bench.FormatRows(w, "Exp-6 / Table 7: arcs processed by PXY vs PWC", bench.Exp6(cfg))
+	}
+	if run("exp7") {
+		if *chart {
+			bench.RenderSeries(w, "Exp-7 / Fig. 9: DDS runtime vs threads", bench.Exp7(cfg))
+		} else {
+			bench.FormatRows(w, "Exp-7 / Fig. 9: DDS runtime vs threads", bench.Exp7(cfg))
+		}
+	}
+	if run("exp8") {
+		if *chart {
+			bench.RenderSeries(w, "Exp-8 / Fig. 10: DDS scalability vs edge fraction", bench.Exp8(cfg))
+		} else {
+			bench.FormatRows(w, "Exp-8 / Fig. 10: DDS scalability vs edge fraction", bench.Exp8(cfg))
+		}
+	}
+	if run("ratios") {
+		bench.FormatRows(w, "Approximation ratios vs exact (ratio_x1000 = 1000·ρ*/ρ)", bench.Ratios(cfg))
+	}
+	if selected["extensions"] { // opt-in: not part of the paper's "all"
+		bench.FormatRows(w, "Extensions: k*-core vs max truss vs triangle peel", bench.Extensions(cfg))
+	}
+	return nil
+}
+
+func printSpeedups(w io.Writer, rows []bench.Row, fast string, slows []string) {
+	for _, slow := range slows {
+		sp := bench.Speedup(rows, fast, slow)
+		if len(sp) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "speedup %s vs %s:", fast, slow)
+		for _, ds := range []string{"PT", "EW", "EU", "IT", "SK", "UN", "AM", "AR", "BA", "DL", "WE", "TW"} {
+			if v, ok := sp[ds]; ok {
+				fmt.Fprintf(w, " %s=%.1fx", ds, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunDatasetsOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "datasets", "-scale", "0.005"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table 4", "Table 5", "Petster", "Twitter"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "Exp-1") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "exp2,exp6", "-scale", "0.005", "-budget", "2s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 6") || !strings.Contains(s, "Table 7") {
+		t.Fatalf("selected experiments missing:\n%s", s)
+	}
+}
+
+func TestRunExp1PrintsSpeedups(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "exp1", "-scale", "0.005"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "speedup PKMC vs") {
+		t.Fatalf("speedup summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunThreadSweepFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "exp3", "-scale", "0.005", "-threads", "1,2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p=2") {
+		t.Fatalf("thread sweep not honored:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "p=4") {
+		t.Fatal("default sweep leaked past -threads")
+	}
+}
+
+func TestRunBadThreads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "zero"}, &out); err == nil {
+		t.Fatal("bad -threads accepted")
+	}
+}
+
+func TestRunChartMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "exp1", "-scale", "0.005", "-chart"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "log scale") {
+		t.Fatalf("chart output missing:\n%s", out.String())
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "exp2", "-scale", "0.005", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18 (6 datasets x 3 algorithms)", len(rows))
+	}
+	if rows[0]["Algorithm"] == "" || rows[0]["Dataset"] == "" {
+		t.Fatalf("row shape: %v", rows[0])
+	}
+}

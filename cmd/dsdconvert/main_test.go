@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func writeGraph(t *testing.T, dir, name string, g *dsd.Graph) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := dsd.SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := dsd.GenerateErdosRenyi(100, 400, 1)
+	in := writeGraph(t, dir, "g.txt", g)
+	for _, name := range []string{"o.dsdg", "o.txt.gz", "o.dsdg.gz"} {
+		outPath := filepath.Join(dir, name)
+		var out bytes.Buffer
+		if err := run([]string{"-in", in, "-out", outPath}, &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := dsd.LoadGraph(outPath)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.M() != g.M() {
+			t.Fatalf("%s: m = %d, want %d", name, got.M(), g.M())
+		}
+	}
+}
+
+func TestConvertSample(t *testing.T) {
+	dir := t.TempDir()
+	g := dsd.GenerateErdosRenyi(200, 2000, 2)
+	in := writeGraph(t, dir, "g.txt", g)
+	outPath := filepath.Join(dir, "s.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-out", outPath, "-sample", "0.3", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dsd.LoadGraph(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(got.M()) / float64(g.M())
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("kept %.2f of edges, want ~0.3", frac)
+	}
+}
+
+func TestConvertLCCAndRelabel(t *testing.T) {
+	dir := t.TempDir()
+	// Two components: a triangle and a single edge.
+	g := dsd.NewGraph(5, []dsd.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 4}})
+	in := writeGraph(t, dir, "g.txt", g)
+	outPath := filepath.Join(dir, "lcc.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-out", outPath, "-lcc", "-relabel"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dsd.LoadGraph(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.M() != 3 {
+		t.Fatalf("lcc: n=%d m=%d, want the triangle", got.N(), got.M())
+	}
+}
+
+func TestConvertDirected(t *testing.T) {
+	dir := t.TempDir()
+	d := dsd.GenerateChungLuDirected(100, 500, 2.5, 2.5, 3)
+	in := filepath.Join(dir, "d.txt")
+	if err := dsd.SaveDigraph(d, in); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "d.dsdg")
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-out", outPath, "-directed"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dsd.LoadDigraph(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != d.M() {
+		t.Fatalf("m = %d, want %d", got.M(), d.M())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-in", "x", "-out", "y", "-directed", "-lcc"}, &out); err == nil {
+		t.Fatal("directed+lcc accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist", "-out", filepath.Join(t.TempDir(), "o.txt")}, &out); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if _, err := os.Stat("y"); err == nil {
+		t.Fatal("output created despite error")
+	}
+}

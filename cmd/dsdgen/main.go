@@ -1,0 +1,129 @@
+// Command dsdgen materializes the benchmark dataset scale models (or plain
+// synthetic graphs) to files.
+//
+// Usage:
+//
+//	dsdgen -dataset PT -scale 0.1 -out pt.txt           # one catalog dataset
+//	dsdgen -all -scale 0.1 -dir data/                   # all twelve
+//	dsdgen -model chunglu -n 10000 -m 100000 -beta 2.2 -seed 7 -out g.txt
+//	dsdgen ... -binary                                  # compact binary format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dsdgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dsdgen", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "", "catalog dataset abbreviation (PT, EW, EU, IT, SK, UN, AM, AR, BA, DL, WE, TW)")
+		all     = fs.Bool("all", false, "generate all twelve catalog datasets")
+		scale   = fs.Float64("scale", 0.1, "dataset scale multiplier (1.0 = DESIGN.md laptop scale)")
+		model   = fs.String("model", "", "ad-hoc model: chunglu | er | rmat")
+		n       = fs.Int("n", 10000, "vertices (ad-hoc models; rmat uses the next power of two)")
+		m       = fs.Int64("m", 100000, "edges (ad-hoc models)")
+		beta    = fs.Float64("beta", 2.2, "power-law exponent (chunglu)")
+		seed    = fs.Int64("seed", 1, "random seed (ad-hoc models)")
+		outPath = fs.String("out", "", "output file (single graph)")
+		dir     = fs.String("dir", ".", "output directory (-all)")
+		binary  = fs.Bool("binary", false, "write the compact binary format instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *all:
+		for _, info := range dsd.Datasets() {
+			path := filepath.Join(*dir, info.Abbr+ext(*binary))
+			if err := writeDataset(info.Abbr, *scale, path, *binary); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s (%s, scale %.3g)\n", path, info.Name, *scale)
+		}
+		return nil
+	case *dataset != "":
+		path := *outPath
+		if path == "" {
+			path = *dataset + ext(*binary)
+		}
+		if err := writeDataset(*dataset, *scale, path, *binary); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+		return nil
+	case *model != "":
+		if *outPath == "" {
+			return fmt.Errorf("-out is required with -model")
+		}
+		var g *dsd.Graph
+		switch *model {
+		case "chunglu":
+			g = dsd.GenerateChungLu(*n, *m, *beta, *seed)
+		case "er":
+			g = dsd.GenerateErdosRenyi(*n, *m, *seed)
+		case "rmat":
+			sc := 4
+			for 1<<sc < *n {
+				sc++
+			}
+			g = dsd.GenerateRMAT(sc, *m, 0.57, 0.19, 0.19, *seed)
+		default:
+			return fmt.Errorf("unknown model %q (chunglu | er | rmat)", *model)
+		}
+		if err := writeGraph(g, nil, *outPath, *binary); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (n=%d m=%d)\n", *outPath, g.N(), g.M())
+		return nil
+	default:
+		return fmt.Errorf("nothing to do; pass -dataset, -all, or -model")
+	}
+}
+
+func writeDataset(abbr string, scale float64, path string, binary bool) error {
+	g, d, err := dsd.BuildDataset(abbr, scale)
+	if err != nil {
+		return err
+	}
+	return writeGraph(g, d, path, binary)
+}
+
+// writeGraph writes whichever of g/d is non-nil.
+func writeGraph(g *dsd.Graph, d *dsd.Digraph, path string, binary bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case g != nil && binary:
+		return g.WriteBinary(f)
+	case g != nil:
+		return g.WriteEdgeList(f)
+	case d != nil && binary:
+		return d.WriteBinary(f)
+	default:
+		return d.WriteEdgeList(f)
+	}
+}
+
+func ext(binary bool) string {
+	if binary {
+		return ".dsdg"
+	}
+	return ".txt"
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestGenerateOneDataset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pt.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "PT", "-scale", "0.01", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dsd.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 16 || g.M() < 16 {
+		t.Fatalf("generated graph too small: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-all", "-scale", "0.005", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 {
+		t.Fatalf("wrote %d files, want 12", len(entries))
+	}
+	if !strings.Contains(out.String(), "TW.txt") {
+		t.Fatalf("log incomplete:\n%s", out.String())
+	}
+}
+
+func TestGenerateBinaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "am.dsdg")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "AM", "-scale", "0.01", "-out", path, "-binary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dsd.ReadDigraphBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() == 0 {
+		t.Fatal("empty binary digraph")
+	}
+}
+
+func TestGenerateAdHocModels(t *testing.T) {
+	dir := t.TempDir()
+	for _, model := range []string{"chunglu", "er", "rmat"} {
+		path := filepath.Join(dir, model+".txt")
+		var out bytes.Buffer
+		args := []string{"-model", model, "-n", "200", "-m", "800", "-out", path}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no action accepted")
+	}
+	if err := run([]string{"-dataset", "XX"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-model", "bogus", "-out", filepath.Join(t.TempDir(), "x")}, &out); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-model", "er"}, &out); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}

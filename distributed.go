@@ -1,0 +1,83 @@
+package dsd
+
+import "repro/internal/dist"
+
+// ClusterStats accounts the communication a distributed deployment would
+// generate (see SolveUDSDistributed).
+type ClusterStats struct {
+	Workers        int
+	Supersteps     int     // BSP rounds = PKMC iterations
+	MessagesSent   int64   // batched worker-to-worker messages
+	ValuesSent     int64   // (vertex, h) pairs shipped in total
+	BoundaryVerts  int64   // vertices with cross-worker edges
+	GhostCopies    int64   // replicated remote values across the cluster
+	ValuesPerRound []int64 // traffic decay as the h-values converge
+}
+
+// SolveUDSDistributed runs PKMC in a simulated distributed-memory (BSP)
+// deployment across `workers` hash-partitioned shards — the paper's stated
+// future-work setting. The answer is identical to SolveUDS with AlgoPKMC;
+// the value of this entry point is the returned traffic accounting, which
+// predicts what a cluster port (GraphX/Pregel-style) would move on the
+// wire: supersteps equal PKMC's iterations, so the Theorem-1 early stop
+// saves communication rounds, not just local work.
+func SolveUDSDistributed(g *Graph, workers int) (Result, ClusterStats) {
+	res := dist.KStarCore(g.g, workers)
+	return Result{
+			Algorithm:  "PKMC-distributed",
+			Vertices:   res.Vertices,
+			Density:    g.g.InducedDensity(res.Vertices),
+			KStar:      res.KStar,
+			Iterations: res.Stats.Supersteps,
+		}, ClusterStats{
+			Workers:        res.Stats.Workers,
+			Supersteps:     res.Stats.Supersteps,
+			MessagesSent:   res.Stats.MessagesSent,
+			ValuesSent:     res.Stats.ValuesSent,
+			BoundaryVerts:  res.Stats.BoundaryVerts,
+			GhostCopies:    res.Stats.GhostCopies,
+			ValuesPerRound: res.Stats.ValuesPerRound,
+		}
+}
+
+// SolveDDSDistributed runs PWC's heavy phase — the w*-induced subgraph
+// decomposition (Algorithm 3) — in the simulated BSP deployment, then
+// finishes the [x*, y*]-core extraction on the (tiny) collected subgraph
+// the way a cluster port would: the coordinator receives the w*-subgraph,
+// which the paper's Table 7 shows is orders of magnitude smaller than the
+// input, and solves it locally. The answer matches SolveDDS with AlgoPWC.
+func SolveDDSDistributed(d *Digraph, workers int) (DirectedResult, ClusterStats) {
+	ws := dist.WStar(d.d, workers)
+	stats := ClusterStats{
+		Workers:        ws.Stats.Workers,
+		Supersteps:     ws.Stats.Supersteps,
+		MessagesSent:   ws.Stats.MessagesSent,
+		ValuesSent:     ws.Stats.ValuesSent,
+		BoundaryVerts:  ws.Stats.BoundaryVerts,
+		GhostCopies:    ws.Stats.GhostCopies,
+		ValuesPerRound: ws.Stats.ValuesPerRound,
+	}
+	// Coordinator-side finish on the collected subgraph.
+	sub := &Digraph{d: ws.Subgraph}
+	res, err := SolveDDS(sub, AlgoPWC, Options{Workers: workers})
+	if err != nil || ws.Subgraph.M() == 0 {
+		return DirectedResult{Algorithm: "PWC-distributed"}, stats
+	}
+	s := make([]int32, len(res.S))
+	for i, v := range res.S {
+		s[i] = ws.Original[v]
+	}
+	t := make([]int32, len(res.T))
+	for i, v := range res.T {
+		t[i] = ws.Original[v]
+	}
+	return DirectedResult{
+		Algorithm:  "PWC-distributed",
+		S:          s,
+		T:          t,
+		Density:    d.d.DensityST(s, t),
+		XStar:      res.XStar,
+		YStar:      res.YStar,
+		Iterations: stats.Supersteps,
+	}, stats
+}

@@ -1,0 +1,54 @@
+package dsd
+
+import "repro/internal/core"
+
+// DynamicGraph maintains an undirected graph under edge insertions and
+// deletions while keeping the core decomposition — and therefore the
+// 2-approximate densest subgraph — up to date incrementally. Each update
+// repairs core numbers locally (the traversal algorithm; core numbers move
+// by at most one per edge change), avoiding recomputation: the
+// dynamic-graph setting the paper's related work points at.
+//
+// DynamicGraph is not safe for concurrent use.
+type DynamicGraph struct {
+	d *core.Dynamic
+}
+
+// NewDynamicGraph seeds the structure from a static graph.
+func NewDynamicGraph(g *Graph) *DynamicGraph {
+	return &DynamicGraph{d: core.NewDynamic(g.g)}
+}
+
+// N returns the vertex count (fixed at construction).
+func (dg *DynamicGraph) N() int { return dg.d.N() }
+
+// HasEdge reports whether {u, v} is currently present.
+func (dg *DynamicGraph) HasEdge(u, v int32) bool { return dg.d.HasEdge(u, v) }
+
+// InsertEdge adds {u, v} (no-op if present or a self-loop) and repairs the
+// core numbers. Panics on out-of-range ids.
+func (dg *DynamicGraph) InsertEdge(u, v int32) { dg.d.InsertEdge(u, v) }
+
+// DeleteEdge removes {u, v} (no-op if absent) and repairs the core numbers.
+func (dg *DynamicGraph) DeleteEdge(u, v int32) { dg.d.DeleteEdge(u, v) }
+
+// CoreNumbers returns the maintained core numbers (read-only view).
+func (dg *DynamicGraph) CoreNumbers() []int32 { return dg.d.CoreNumbers() }
+
+// DensestSubgraph returns the current k*-core — the standing 2-approximate
+// densest subgraph — with its density.
+func (dg *DynamicGraph) DensestSubgraph() Result {
+	k, vs := dg.d.KStarCore()
+	g := dg.d.Graph()
+	return Result{
+		Algorithm: "DynamicKStarCore",
+		Vertices:  vs,
+		Density:   g.InducedDensity(vs),
+		KStar:     k,
+	}
+}
+
+// Snapshot materializes the current graph as an immutable Graph.
+func (dg *DynamicGraph) Snapshot() *Graph {
+	return &Graph{g: dg.d.Graph()}
+}

@@ -1,0 +1,80 @@
+// Regulatory-motif discovery on a gene-interaction-style network (the
+// paper's §I biology application, after MotifCut): functional modules show
+// up as subgraphs that are dense in *triangles*, not merely in edges —
+// co-regulation is a three-way relationship. This example contrasts the
+// edge-density answer (PKMC), the triangle-density answer, and the k-truss
+// certificate on the same network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A protein/gene interaction network: power-law body (most genes
+	// interact with few partners, hubs with many) plus a planted
+	// co-regulated module of 35 genes.
+	base := dsd.GenerateChungLu(8_000, 60_000, 2.5, 77)
+	net, module := dsd.PlantClique(base, 35, 78)
+	fmt.Printf("interaction network: %d genes, %d interactions; hidden module of %d genes\n",
+		net.N(), net.M(), len(module))
+
+	// Edge-density view: the k*-core.
+	start := time.Now()
+	uds, err := dsd.SolveUDS(net, dsd.AlgoPKMC, dsd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nedge-densest (PKMC, %v):     %d genes, edge density %.1f\n",
+		time.Since(start).Round(time.Millisecond), len(uds.Vertices), uds.Density)
+
+	// Triangle-density view: co-regulation triples.
+	start = time.Now()
+	triVs, triDensity, edgeDensity := dsd.TriangleDensest(net, 0)
+	fmt.Printf("triangle-densest (%v):      %d genes, %.1f triangles/gene (edge density %.1f)\n",
+		time.Since(start).Round(time.Millisecond), len(triVs), triDensity, edgeDensity)
+
+	// Truss view: the maximal triangle-connected backbone.
+	start = time.Now()
+	trussVs, trussDensity, kmax := dsd.TrussDensest(net, 0)
+	fmt.Printf("max k-truss (%v):          %d genes in the %d-truss (edge density %.1f)\n",
+		time.Since(start).Round(time.Millisecond), len(trussVs), kmax, trussDensity)
+
+	// All three views should converge on the planted module.
+	fmt.Println("\nplanted-module recall:")
+	fmt.Printf("  edge-densest:     %d / %d\n", hits(uds.Vertices, module), len(module))
+	fmt.Printf("  triangle-densest: %d / %d\n", hits(triVs, module), len(module))
+	fmt.Printf("  max truss:        %d / %d\n", hits(trussVs, module), len(module))
+
+	// Triangle statistics around the module vs the background.
+	counts := dsd.TriangleCounts(net, 0)
+	var moduleTri, total int64
+	inModule := map[int32]bool{}
+	for _, v := range module {
+		inModule[v] = true
+		moduleTri += counts[v]
+	}
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("\ntriangle mass: module genes hold %.1f%% of all triangle corners with %.2f%% of the genes\n",
+		100*float64(moduleTri)/float64(total), 100*float64(len(module))/float64(net.N()))
+}
+
+func hits(found, truth []int32) int {
+	in := map[int32]bool{}
+	for _, v := range truth {
+		in[v] = true
+	}
+	h := 0
+	for _, v := range found {
+		if in[v] {
+			h++
+		}
+	}
+	return h
+}

@@ -1,0 +1,81 @@
+package dsd
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+)
+
+// DatasetInfo describes one of the twelve benchmark dataset models — the
+// scale-model stand-ins for the paper's KONECT/LAW graphs (Tables 4 and 5).
+type DatasetInfo struct {
+	Abbr     string // paper abbreviation: PT, EW, EU, IT, SK, UN / AM, AR, BA, DL, WE, TW
+	Name     string
+	Category string
+	Directed bool
+	PaperN   int64 // the original dataset's size as reported in the paper
+	PaperM   int64
+}
+
+// Datasets lists the benchmark catalog, undirected first, in paper order.
+func Datasets() []DatasetInfo {
+	var out []DatasetInfo
+	for _, d := range append(gen.UndirectedCatalog(), gen.DirectedCatalog()...) {
+		out = append(out, DatasetInfo{
+			Abbr: d.Abbr, Name: d.Name, Category: d.Category,
+			Directed: d.Directed, PaperN: d.PaperN, PaperM: d.PaperM,
+		})
+	}
+	return out
+}
+
+// BuildDataset materializes a catalog dataset's scale model at the given
+// size multiplier (1.0 = the documented laptop scale). Exactly one of the
+// returned graphs is non-nil, matching the dataset's directedness.
+func BuildDataset(abbr string, scale float64) (*Graph, *Digraph, error) {
+	ds, ok := gen.FindDataset(abbr)
+	if !ok {
+		return nil, nil, fmt.Errorf("dsd: unknown dataset %q", abbr)
+	}
+	if ds.Directed {
+		return nil, &Digraph{d: ds.BuildDirected(scale)}, nil
+	}
+	return &Graph{g: ds.BuildUndirected(scale)}, nil, nil
+}
+
+// GenerateChungLu returns a power-law undirected graph with ~m edges and
+// degree exponent beta, deterministically from seed.
+func GenerateChungLu(n int, m int64, beta float64, seed int64) *Graph {
+	return &Graph{g: gen.ChungLu(n, m, beta, seed)}
+}
+
+// GenerateChungLuDirected returns a power-law digraph with independent out
+// and in degree exponents.
+func GenerateChungLuDirected(n int, m int64, betaOut, betaIn float64, seed int64) *Digraph {
+	return &Digraph{d: gen.ChungLuDirected(n, m, betaOut, betaIn, seed)}
+}
+
+// GenerateErdosRenyi returns a uniform random graph with ~m edges.
+func GenerateErdosRenyi(n int, m int64, seed int64) *Graph {
+	return &Graph{g: gen.ErdosRenyi(n, m, seed)}
+}
+
+// GenerateRMAT returns a recursive-matrix graph on 2^scale vertices.
+func GenerateRMAT(scale int, m int64, a, b, c float64, seed int64) *Graph {
+	return &Graph{g: gen.RMATUndirected(scale, m, a, b, c, seed)}
+}
+
+// PlantClique plants a clique of the given size into g and returns the new
+// graph and the planted vertex set — a UDS instance with a known dense
+// answer.
+func PlantClique(g *Graph, size int, seed int64) (*Graph, []int32) {
+	ng, planted := gen.PlantClique(g.g, size, seed)
+	return &Graph{g: ng}, planted
+}
+
+// PlantBiclique plants a complete S×T block into d — a DDS instance with a
+// known dense answer ρ(S,T) = sqrt(|S|·|T|).
+func PlantBiclique(d *Digraph, sizeS, sizeT int, seed int64) (*Digraph, []int32, []int32) {
+	nd, s, t := gen.PlantBiclique(d.d, sizeS, sizeT, seed)
+	return &Digraph{d: nd}, s, t
+}

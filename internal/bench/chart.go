@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderBars draws rows as a horizontal log-scale bar chart grouped by
+// dataset — the terminal rendition of the paper's Fig. 5 / Fig. 8 bar
+// figures. Bars that exhausted their budget are drawn full-width and
+// marked, matching the paper's bars that touch the 10⁵-second ceiling.
+func RenderBars(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no rows)")
+		return
+	}
+	const width = 46
+	// Log scale across all finite measurements.
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			continue
+		}
+		if r.Seconds < min {
+			min = r.Seconds
+		}
+		if r.Seconds > max {
+			max = r.Seconds
+		}
+	}
+	if math.IsInf(min, 1) {
+		min, max = 1e-6, 1
+	}
+	if max <= min {
+		max = min * 10
+	}
+	logMin, logMax := math.Log10(min), math.Log10(max)
+	scale := func(sec float64) int {
+		if sec <= 0 {
+			return 1
+		}
+		f := (math.Log10(sec) - logMin) / (logMax - logMin)
+		n := 1 + int(f*float64(width-1))
+		if n < 1 {
+			n = 1
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+
+	// Group rows by dataset, preserving first-appearance order.
+	var order []string
+	groups := map[string][]Row{}
+	for _, r := range rows {
+		if _, ok := groups[r.Dataset]; !ok {
+			order = append(order, r.Dataset)
+		}
+		groups[r.Dataset] = append(groups[r.Dataset], r)
+	}
+	for _, ds := range order {
+		fmt.Fprintf(w, "%s\n", ds)
+		for _, r := range groups[ds] {
+			label := r.Algorithm
+			if r.Param != "" {
+				label += " " + r.Param
+			}
+			if r.TimedOut {
+				fmt.Fprintf(w, "  %-12s |%s> budget exhausted (>%.4gs)\n",
+					label, strings.Repeat("#", width), r.Seconds)
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s |%s %.4gs\n", label, strings.Repeat("#", scale(r.Seconds)), r.Seconds)
+		}
+	}
+	fmt.Fprintf(w, "(log scale: %.2gs .. %.2gs over %d columns)\n\n", min, max, width)
+}
+
+// RenderSeries draws rows as per-algorithm series over a swept parameter
+// (threads or edge fraction) — the terminal rendition of the paper's line
+// figures (Fig. 6/7/9/10). One block per dataset, one line per algorithm,
+// the sweep values as columns.
+func RenderSeries(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no rows)")
+		return
+	}
+	var dsOrder, paramOrder []string
+	seenDS := map[string]bool{}
+	seenParam := map[string]bool{}
+	type cell struct{ sec float64 }
+	table := map[string]map[string]map[string]cell{} // dataset -> algo -> param
+	var algoOrder []string
+	seenAlgo := map[string]bool{}
+	for _, r := range rows {
+		if !seenDS[r.Dataset] {
+			seenDS[r.Dataset] = true
+			dsOrder = append(dsOrder, r.Dataset)
+		}
+		if !seenParam[r.Param] {
+			seenParam[r.Param] = true
+			paramOrder = append(paramOrder, r.Param)
+		}
+		if !seenAlgo[r.Algorithm] {
+			seenAlgo[r.Algorithm] = true
+			algoOrder = append(algoOrder, r.Algorithm)
+		}
+		if table[r.Dataset] == nil {
+			table[r.Dataset] = map[string]map[string]cell{}
+		}
+		if table[r.Dataset][r.Algorithm] == nil {
+			table[r.Dataset][r.Algorithm] = map[string]cell{}
+		}
+		table[r.Dataset][r.Algorithm][r.Param] = cell{sec: r.Seconds}
+	}
+	sort.Strings(algoOrder)
+	for _, ds := range dsOrder {
+		fmt.Fprintf(w, "%s\n", ds)
+		fmt.Fprintf(w, "  %-10s", "")
+		for _, p := range paramOrder {
+			fmt.Fprintf(w, " %10s", p)
+		}
+		fmt.Fprintln(w)
+		for _, algo := range algoOrder {
+			cells, ok := table[ds][algo]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s", algo)
+			for _, p := range paramOrder {
+				if c, ok := cells[p]; ok {
+					fmt.Fprintf(w, " %9.4fs", c.sec)
+				} else {
+					fmt.Fprintf(w, " %10s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}

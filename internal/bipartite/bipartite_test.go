@@ -1,0 +1,161 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBipartite(seed int64, maxSide, mult int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	nl := 1 + rng.Intn(maxSide)
+	nr := 1 + rng.Intn(maxSide)
+	var edges []Edge
+	for i := 0; i < rng.Intn((nl+nr)*mult+1); i++ {
+		edges = append(edges, Edge{L: int32(rng.Intn(nl)), R: int32(rng.Intn(nr))})
+	}
+	return New(nl, nr, edges)
+}
+
+func complete(nl, nr int) *Graph {
+	var edges []Edge
+	for l := int32(0); int(l) < nl; l++ {
+		for r := int32(0); int(r) < nr; r++ {
+			edges = append(edges, Edge{L: l, R: r})
+		}
+	}
+	return New(nl, nr, edges)
+}
+
+func TestBasics(t *testing.T) {
+	b := New(2, 3, []Edge{{L: 0, R: 0}, {L: 0, R: 1}, {L: 1, R: 2}, {L: 0, R: 0}})
+	if b.NL() != 2 || b.NR() != 3 || b.M() != 3 { // duplicate dropped
+		t.Fatalf("nl=%d nr=%d m=%d", b.NL(), b.NR(), b.M())
+	}
+	if b.DegreeL(0) != 2 || b.DegreeR(2) != 1 {
+		t.Fatalf("degrees: L0=%d R2=%d", b.DegreeL(0), b.DegreeR(2))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 2, []Edge{{L: 0, R: 5}})
+}
+
+func TestABCoreComplete(t *testing.T) {
+	b := complete(3, 4)
+	l, r := b.ABCore(4, 3)
+	if len(l) != 3 || len(r) != 4 {
+		t.Fatalf("K(3,4) (4,3)-core: %v / %v", l, r)
+	}
+	if l2, _ := b.ABCore(5, 1); l2 != nil {
+		t.Fatal("impossible core must be empty")
+	}
+}
+
+func TestABCoreValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomBipartite(seed, 20, 3)
+		for alpha := int32(1); alpha <= 3; alpha++ {
+			for beta := int32(1); beta <= 3; beta++ {
+				l, r := b.ABCore(alpha, beta)
+				if l == nil {
+					continue
+				}
+				inR := map[int32]bool{}
+				for _, v := range r {
+					inR[v] = true
+				}
+				inL := map[int32]bool{}
+				for _, v := range l {
+					inL[v] = true
+				}
+				// Verify degree constraints within the core.
+				for _, lv := range l {
+					var c int32
+					for _, rv := range b.d.OutNeighbors(lv) {
+						if inR[rv-int32(b.nl)] {
+							c++
+						}
+					}
+					if c < alpha {
+						return false
+					}
+				}
+				for _, rv := range r {
+					var c int32
+					for _, lv := range b.d.InNeighbors(int32(b.nl) + rv) {
+						if inL[lv] {
+							c++
+						}
+					}
+					if c < beta {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaMaxMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomBipartite(seed, 25, 3)
+		prev := int32(1 << 30)
+		for alpha := int32(1); alpha <= 4; alpha++ {
+			bm := b.BetaMax(alpha)
+			if bm > prev {
+				return false // β_max is non-increasing in α
+			}
+			prev = bm
+			if bm > 0 {
+				if l, r := b.ABCore(alpha, bm); l == nil || r == nil {
+					return false
+				}
+				if l, _ := b.ABCore(alpha, bm+1); l != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensestCompleteBlock(t *testing.T) {
+	// A K(10,10) planted among sparse noise: density 100/20 = 5.
+	rng := rand.New(rand.NewSource(4))
+	var edges []Edge
+	for l := int32(0); l < 10; l++ {
+		for r := int32(0); r < 10; r++ {
+			edges = append(edges, Edge{L: l, R: r})
+		}
+	}
+	for i := 0; i < 200; i++ {
+		edges = append(edges, Edge{L: int32(10 + rng.Intn(90)), R: int32(10 + rng.Intn(90))})
+	}
+	b := New(100, 100, edges)
+	res := b.Densest()
+	if res.Density < 2.5 { // 2-approximation of 5
+		t.Fatalf("density = %v", res.Density)
+	}
+	if len(res.Left) == 0 || len(res.Right) == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestDensestEmpty(t *testing.T) {
+	if res := New(3, 3, nil).Densest(); res.Density != 0 {
+		t.Fatalf("%+v", res)
+	}
+}

@@ -1,0 +1,100 @@
+// Package bucket implements the bucket-queue ("binsort") structures behind
+// the O(m) Batagelj–Zaveršnik core decomposition and the serial peeling
+// baselines (Charikar's greedy, [x,y]-core peeling). A bucket queue keeps n
+// items keyed by small non-negative integers (degrees) and supports
+// extract-min and decrease-key in O(1).
+package bucket
+
+import "fmt"
+
+// Queue is a monotone bucket priority queue over items 0..n-1 with integer
+// keys in [0, maxKey]. It is "monotone" in the peeling sense: ExtractMin
+// never returns an item with key smaller than the largest key returned so
+// far minus the decrease applied since — exactly the access pattern of
+// degree peeling, where a removal decreases neighbor keys by one.
+type Queue struct {
+	key    []int32 // key[v] = current key of item v; -1 once extracted
+	bucket [][]int32
+	cur    int // smallest bucket that may be non-empty
+	left   int // items not yet extracted
+}
+
+// New builds a queue holding items 0..len(keys)-1 with the given initial
+// keys. maxKey must bound every key that will ever be Set; keys may only
+// decrease afterwards (DecreaseKey), matching peeling usage.
+func New(keys []int32, maxKey int32) *Queue {
+	q := &Queue{
+		key:    make([]int32, len(keys)),
+		bucket: make([][]int32, maxKey+1),
+		left:   len(keys),
+	}
+	copy(q.key, keys)
+	for v, k := range keys {
+		if k < 0 || k > maxKey {
+			panic(fmt.Sprintf("bucket: key %d of item %d out of range [0,%d]", k, v, maxKey))
+		}
+		q.bucket[k] = append(q.bucket[k], int32(v))
+	}
+	return q
+}
+
+// Len reports how many items remain in the queue.
+func (q *Queue) Len() int { return q.left }
+
+// Key returns the current key of v, or -1 if v has been extracted.
+func (q *Queue) Key(v int32) int32 { return q.key[v] }
+
+// ExtractMin removes and returns an item with the smallest key, along with
+// that key. It panics on an empty queue.
+//
+// Lazy deletion: buckets may contain stale entries for items whose key has
+// since decreased (they were appended to a lower bucket) or that were
+// already extracted; such entries are skipped by comparing against key[v].
+func (q *Queue) ExtractMin() (v, key int32) {
+	if q.left == 0 {
+		panic("bucket: ExtractMin on empty queue")
+	}
+	for {
+		// The cursor only moves forward; DecreaseKey rewinds it when it
+		// files an item below the cursor.
+		for q.cur < len(q.bucket) && len(q.bucket[q.cur]) == 0 {
+			q.cur++
+		}
+		b := q.bucket[q.cur]
+		v := b[len(b)-1]
+		q.bucket[q.cur] = b[:len(b)-1]
+		if q.key[v] != int32(q.cur) { // stale entry
+			continue
+		}
+		q.key[v] = -1
+		q.left--
+		return v, int32(q.cur)
+	}
+}
+
+// DecreaseKey lowers v's key to k. It is a no-op if v was extracted or its
+// key is already <= k. The stale entry in the old bucket is skipped lazily
+// by ExtractMin.
+func (q *Queue) DecreaseKey(v int32, k int32) {
+	if k < 0 {
+		k = 0
+	}
+	cur := q.key[v]
+	if cur < 0 || cur <= k {
+		return
+	}
+	q.key[v] = k
+	q.bucket[k] = append(q.bucket[k], v)
+	if int(k) < q.cur {
+		q.cur = int(k)
+	}
+}
+
+// Decrement lowers v's key by one (never below zero); no-op once extracted.
+func (q *Queue) Decrement(v int32) {
+	cur := q.key[v]
+	if cur <= 0 {
+		return
+	}
+	q.DecreaseKey(v, cur-1)
+}

@@ -1,0 +1,168 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractMinOrderWithoutDecreases(t *testing.T) {
+	keys := []int32{5, 3, 8, 3, 0, 7}
+	q := New(keys, 8)
+	var got []int32
+	for q.Len() > 0 {
+		_, k := q.ExtractMin()
+		got = append(got, k)
+	}
+	want := []int32{0, 3, 3, 5, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("extraction keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeyTracksState(t *testing.T) {
+	q := New([]int32{4, 2}, 4)
+	if q.Key(0) != 4 || q.Key(1) != 2 {
+		t.Fatal("initial keys wrong")
+	}
+	q.DecreaseKey(0, 1)
+	if q.Key(0) != 1 {
+		t.Fatalf("after decrease, key = %d", q.Key(0))
+	}
+	v, k := q.ExtractMin()
+	if v != 0 || k != 1 {
+		t.Fatalf("got (%d,%d), want (0,1)", v, k)
+	}
+	if q.Key(0) != -1 {
+		t.Fatal("extracted item should report key -1")
+	}
+}
+
+func TestDecreaseKeyNoOpCases(t *testing.T) {
+	q := New([]int32{3}, 3)
+	q.DecreaseKey(0, 5) // larger: no-op
+	if q.Key(0) != 3 {
+		t.Fatal("increase should be a no-op")
+	}
+	q.ExtractMin()
+	q.DecreaseKey(0, 1) // extracted: no-op
+	if q.Key(0) != -1 {
+		t.Fatal("decrease after extraction should be a no-op")
+	}
+}
+
+func TestDecrementFloorsAtZero(t *testing.T) {
+	q := New([]int32{1}, 1)
+	q.Decrement(0)
+	q.Decrement(0) // already 0: no-op
+	v, k := q.ExtractMin()
+	if v != 0 || k != 0 {
+		t.Fatalf("got (%d,%d)", v, k)
+	}
+}
+
+func TestNegativeDecreaseClampsToZero(t *testing.T) {
+	q := New([]int32{2}, 2)
+	q.DecreaseKey(0, -5)
+	if q.Key(0) != 0 {
+		t.Fatalf("key = %d, want 0", q.Key(0))
+	}
+}
+
+func TestEmptyExtractPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExtractMin on empty queue did not panic")
+		}
+	}()
+	q := New(nil, 0)
+	q.ExtractMin()
+}
+
+func TestOutOfRangeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with out-of-range key did not panic")
+		}
+	}()
+	New([]int32{7}, 3)
+}
+
+// TestAgainstNaive compares a random workload of decreases and extractions
+// against a linear-scan implementation.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		maxKey := int32(1 + rng.Intn(20))
+		keys := make([]int32, n)
+		for i := range keys {
+			keys[i] = int32(rng.Intn(int(maxKey) + 1))
+		}
+		q := New(keys, maxKey)
+		naive := append([]int32(nil), keys...) // -1 = extracted
+
+		for q.Len() > 0 {
+			// Random decreases before each extraction.
+			for d := rng.Intn(4); d > 0; d-- {
+				v := int32(rng.Intn(n))
+				if naive[v] < 0 {
+					continue
+				}
+				nk := naive[v] - int32(rng.Intn(3))
+				if nk < 0 {
+					nk = 0
+				}
+				q.DecreaseKey(v, nk)
+				if nk < naive[v] {
+					naive[v] = nk
+				}
+			}
+			v, k := q.ExtractMin()
+			// The extracted key must equal the global naive minimum, and
+			// the extracted item's own naive key.
+			min := int32(1 << 30)
+			for _, nk := range naive {
+				if nk >= 0 && nk < min {
+					min = nk
+				}
+			}
+			if k != min {
+				t.Fatalf("trial %d: extracted key %d, naive min %d", trial, k, min)
+			}
+			if naive[v] != k {
+				t.Fatalf("trial %d: item %d extracted at key %d, naive key %d", trial, v, k, naive[v])
+			}
+			naive[v] = -1
+		}
+	}
+}
+
+// TestPeelingPattern drives the queue exactly the way BZ core decomposition
+// does, checking the monotone-with-decrement property end to end.
+func TestPeelingPattern(t *testing.T) {
+	// A triangle plus a pendant: degrees 3,2,2,1.
+	adj := [][]int32{{1, 2, 3}, {0, 2}, {0, 1}, {0}}
+	deg := []int32{3, 2, 2, 1}
+	q := New(deg, 3)
+	extracted := make([]bool, 4)
+	var orderKeys []int32
+	for q.Len() > 0 {
+		v, k := q.ExtractMin()
+		extracted[v] = true
+		orderKeys = append(orderKeys, k)
+		for _, u := range adj[v] {
+			if !extracted[u] {
+				q.Decrement(u)
+			}
+		}
+	}
+	// Pendant first at key 1, then the triangle unwinds at key 2, 2, ... 0.
+	want := []int32{1, 2, 1, 0}
+	for i := range want {
+		if orderKeys[i] != want[i] {
+			t.Fatalf("peel keys = %v, want %v", orderKeys, want)
+		}
+	}
+}

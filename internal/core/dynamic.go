@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dynamic maintains core numbers — and therefore the k*-core and its
+// 2-approximate densest subgraph — under edge insertions and deletions,
+// the dynamic-graph setting of the paper's related work ([32]). It uses
+// the classical traversal algorithm (Sarıyüce et al. / Li, Yu & Mao):
+// inserting or deleting an edge changes core numbers by at most one, and
+// only inside the connected region of the lower endpoint's core-number
+// class, so each update touches a small neighborhood instead of
+// recomputing the decomposition.
+type Dynamic struct {
+	adj []map[int32]struct{}
+	k   []int32
+}
+
+// NewDynamic seeds the structure from a static graph (core numbers via the
+// serial decomposition).
+func NewDynamic(g *graph.Undirected) *Dynamic {
+	n := g.N()
+	d := &Dynamic{
+		adj: make([]map[int32]struct{}, n),
+		k:   BZ(g),
+	}
+	for v := int32(0); int(v) < n; v++ {
+		d.adj[v] = make(map[int32]struct{}, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			d.adj[v][u] = struct{}{}
+		}
+	}
+	return d
+}
+
+// N returns the vertex count.
+func (d *Dynamic) N() int { return len(d.adj) }
+
+// HasEdge reports whether {u, v} is currently an edge.
+func (d *Dynamic) HasEdge(u, v int32) bool {
+	_, ok := d.adj[u][v]
+	return ok
+}
+
+// CoreNumbers returns the maintained core numbers (aliases internal state;
+// do not modify).
+func (d *Dynamic) CoreNumbers() []int32 { return d.k }
+
+// KStarCore returns k* and the current k*-core vertex set.
+func (d *Dynamic) KStarCore() (int32, []int32) {
+	return KStarCore(d.k)
+}
+
+// Graph materializes the current graph.
+func (d *Dynamic) Graph() *graph.Undirected {
+	var edges []graph.Edge
+	for u := int32(0); int(u) < d.N(); u++ {
+		for v := range d.adj[u] {
+			if u < v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	return graph.NewUndirected(d.N(), edges)
+}
+
+// InsertEdge adds {u, v} and repairs the core numbers. Inserting an
+// already-present edge or a self-loop is a no-op. Panics on out-of-range
+// ids.
+func (d *Dynamic) InsertEdge(u, v int32) {
+	d.check(u, v)
+	if u == v || d.HasEdge(u, v) {
+		return
+	}
+	d.adj[u][v] = struct{}{}
+	d.adj[v][u] = struct{}{}
+
+	kmin := d.k[u]
+	if d.k[v] < kmin {
+		kmin = d.k[v]
+	}
+	// Candidate region: the kmin-class vertices reachable from the lower
+	// endpoint(s) through kmin-class paths of *expandable* vertices. Only
+	// they can be promoted, and by exactly one. The expansion prune is the
+	// TRAVERSAL optimization: a vertex with at most kmin neighbors of
+	// class >= kmin can never be promoted, and the promoted region is
+	// connected through promoted vertices, so the BFS need not cross it —
+	// without this, every update would walk its entire core-number class
+	// (which is most of a sparse graph for small kmin).
+	cand := d.candidateRegion(u, v, kmin)
+	// Peel the candidates: w survives (is promoted) iff it keeps more
+	// than kmin neighbors that will sit in a core of at least kmin+1 —
+	// neighbors of higher class, or surviving candidates.
+	inCand := map[int32]bool{}
+	for _, w := range cand {
+		inCand[w] = true
+	}
+	cd := map[int32]int32{}
+	for _, w := range cand {
+		var c int32
+		for x := range d.adj[w] {
+			if d.k[x] > kmin || inCand[x] {
+				c++
+			}
+		}
+		cd[w] = c
+	}
+	queue := make([]int32, 0, len(cand))
+	for _, w := range cand {
+		if cd[w] <= kmin {
+			queue = append(queue, w)
+			inCand[w] = false
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for x := range d.adj[w] {
+			if inCand[x] {
+				cd[x]--
+				if cd[x] <= kmin {
+					inCand[x] = false
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	for w, in := range inCand {
+		if in {
+			d.k[w] = kmin + 1
+		}
+	}
+}
+
+// DeleteEdge removes {u, v} and repairs the core numbers. Deleting a
+// missing edge is a no-op.
+func (d *Dynamic) DeleteEdge(u, v int32) {
+	d.check(u, v)
+	if u == v || !d.HasEdge(u, v) {
+		return
+	}
+	delete(d.adj[u], v)
+	delete(d.adj[v], u)
+
+	kmin := d.k[u]
+	if d.k[v] < kmin {
+		kmin = d.k[v]
+	}
+	// Only kmin-class vertices around the endpoints can be demoted, by
+	// exactly one. Demote w when it no longer has kmin neighbors of class
+	// >= kmin; each demotion lowers its neighbors' supports, so demotions
+	// cascade within the class. Supports are recomputed on every visit —
+	// each recount is one adjacency scan and the cascade only revisits a
+	// vertex when a neighbor was demoted, keeping the update local.
+	demoted := map[int32]bool{}
+	var queue []int32
+	visit := func(w int32) {
+		if d.k[w] != kmin || demoted[w] {
+			return
+		}
+		if d.support(w, kmin) < kmin {
+			demoted[w] = true
+			queue = append(queue, w)
+		}
+	}
+	visit(u)
+	visit(v)
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		d.k[w] = kmin - 1
+		for x := range d.adj[w] {
+			visit(x)
+		}
+	}
+}
+
+// support counts w's neighbors of class >= kmin under the current k.
+func (d *Dynamic) support(w int32, kmin int32) int32 {
+	var c int32
+	for x := range d.adj[w] {
+		if d.k[x] >= kmin {
+			c++
+		}
+	}
+	return c
+}
+
+// candidateRegion collects the k == kmin vertices reachable from whichever
+// endpoints sit in that class, expanding only through vertices whose
+// optimistic support (neighbors of class >= kmin) exceeds kmin — the
+// others can never be promoted, and the promoted region is connected
+// through promoted vertices, so they are dead ends for the search.
+// Non-expandable vertices are still *returned* (the peel evicts them and
+// their eviction must propagate into the candidate counts).
+func (d *Dynamic) candidateRegion(u, v, kmin int32) []int32 {
+	var roots []int32
+	if d.k[u] == kmin {
+		roots = append(roots, u)
+	}
+	if d.k[v] == kmin {
+		roots = append(roots, v)
+	}
+	seen := map[int32]bool{}
+	var stack, out []int32
+	visit := func(w int32) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		out = append(out, w)
+		if d.support(w, kmin) > kmin {
+			stack = append(stack, w)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for x := range d.adj[w] {
+			if d.k[x] == kmin {
+				visit(x)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Dynamic) check(u, v int32) {
+	if u < 0 || int(u) >= d.N() || v < 0 || int(v) >= d.N() {
+		panic(fmt.Sprintf("core: edge (%d,%d) outside vertex range [0,%d)", u, v, d.N()))
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// hScratch hands out per-worker histogram buffers for the h-index kernels.
+// Buffers are sized to maxDeg+2 once and reused across iterations, so the
+// parallel sweeps allocate nothing in steady state.
+type hScratch struct {
+	pool sync.Pool
+}
+
+func newHScratch(maxDeg int32) *hScratch {
+	size := int(maxDeg) + 2
+	return &hScratch{pool: sync.Pool{New: func() any {
+		b := make([]int32, size)
+		return &b
+	}}}
+}
+
+func (s *hScratch) get() *[]int32  { return s.pool.Get().(*[]int32) }
+func (s *hScratch) put(b *[]int32) { s.pool.Put(b) }
+
+// hIndexOf computes the h-index of the multiset {h[u] : u ∈ neighbors}: the
+// largest k such that at least k neighbors have h-value >= k. buf must have
+// length >= len(neighbors)+1 and is clobbered.
+//
+// The kernel is the counting form: clamp each neighbor value to d =
+// len(neighbors), histogram, then scan the histogram downwards accumulating
+// "how many neighbors have value >= k" until the count reaches k. O(d).
+func hIndexOf(h []int32, neighbors []int32, buf []int32) int32 {
+	d := len(neighbors)
+	if d == 0 {
+		return 0
+	}
+	cnt := buf[:d+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, u := range neighbors {
+		x := h[u]
+		if x > int32(d) {
+			x = int32(d)
+		}
+		cnt[x]++
+	}
+	var atLeast int32
+	for k := int32(d); k >= 1; k-- {
+		atLeast += cnt[k]
+		if atLeast >= k {
+			return k
+		}
+	}
+	return 0
+}
+
+// hSweep performs one synchronous (Jacobi) h-index iteration over all
+// vertices with p workers: next[v] = h-index of cur values over v's
+// neighbors. It returns true if any value changed. cur and next must be
+// distinct slices of length g.N().
+func hSweep(g *graph.Undirected, cur, next []int32, scratch *hScratch, p int) bool {
+	changed := false
+	var mu sync.Mutex
+	parallel.ForBlocks(g.N(), p, parallel.DefaultGrain, func(lo, hi int) {
+		bufp := scratch.get()
+		localChanged := false
+		for v := lo; v < hi; v++ {
+			nv := hIndexOf(cur, g.Neighbors(int32(v)), *bufp)
+			next[v] = nv
+			if nv != cur[v] {
+				localChanged = true
+			}
+		}
+		scratch.put(bufp)
+		if localChanged {
+			mu.Lock()
+			changed = true
+			mu.Unlock()
+		}
+	})
+	return changed
+}
+
+// initDegrees fills h with the vertex degrees in parallel — the h⁰
+// initialization shared by Local and PKMC (Algorithms 1 and 2, line 1).
+func initDegrees(g *graph.Undirected, h []int32, p int) {
+	parallel.For(g.N(), p, func(v int) {
+		h[v] = g.Degree(int32(v))
+	})
+}

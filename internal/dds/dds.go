@@ -1,0 +1,42 @@
+// Package dds solves the Directed Densest Subgraph problem (the paper's
+// Problem 2): given a digraph D, find vertex sets S, T maximizing
+// ρ(S, T) = |E(S, T)| / sqrt(|S|·|T|). It implements the full Exp-5 lineup:
+// the exact flow solver and brute-force oracle, the peeling baselines PBS
+// (Charikar), PFKS (Khuller–Saha, fixed) and PBD (Bahmani), the Frank–Wolfe
+// PFW, the state-of-the-art core enumeration PXY (Ma et al.), and the
+// paper's contribution PWC — the [x*, y*]-core extracted from a single
+// w*-induced subgraph decomposition (Algorithms 3 and 4).
+package dds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result is a directed densest-subgraph answer.
+type Result struct {
+	Algorithm  string
+	S, T       []int32
+	Density    float64
+	XStar      int32 // cn-pair of the returned core, when core-based
+	YStar      int32
+	Iterations int
+	// TimedOut reports that a budgeted solver (PBS, PFKS, PBD, PFW) hit
+	// its deadline before exhausting its search; the Result then holds the
+	// best answer found so far — mirroring the paper's 10⁵-second cap in
+	// Exp-5, under which PBS and PFKS never finish.
+	TimedOut bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: |S|=%d |T|=%d density=%.4f [x*=%d y*=%d]",
+		r.Algorithm, len(r.S), len(r.T), r.Density, r.XStar, r.YStar)
+}
+
+// densityOf is a convenience for |E(S,T)| already known.
+func densityOf(e int64, s, t int) float64 {
+	if s == 0 || t == 0 {
+		return 0
+	}
+	return float64(e) / math.Sqrt(float64(s)*float64(t))
+}

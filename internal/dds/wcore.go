@@ -1,0 +1,353 @@
+package dds
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// This file implements the paper's w-induced subgraph model (Definitions
+// 8-10) and its parallel decomposition (Algorithm 3). The weight of arc
+// (u, v) within a subgraph H is d⁺_H(u)·d⁻_H(v); the w-induced subgraph is
+// the maximal subgraph whose every arc weighs at least w; w* is the largest
+// w with a non-empty w-induced subgraph. Theorem 2 states w* = x*·y*, which
+// is what lets PWC find the [x*, y*]-core from one decomposition.
+
+// wState is the mutable arc-peeling state over a Directed: per-arc alive
+// flags (arc ids are out-CSR positions) plus atomic degree counters.
+type wState struct {
+	d        *graph.Directed
+	alive    []atomic.Bool
+	dplus    []atomic.Int32
+	dminus   []atomic.Int32
+	arcsLeft atomic.Int64
+	active   []int32 // vertices that may still have out-arcs (refreshed between levels)
+}
+
+func newWState(d *graph.Directed, p int) *wState {
+	n := d.N()
+	st := &wState{
+		d:      d,
+		alive:  make([]atomic.Bool, d.M()),
+		dplus:  make([]atomic.Int32, n),
+		dminus: make([]atomic.Int32, n),
+	}
+	parallel.For(n, p, func(v int) {
+		st.dplus[v].Store(d.OutDegree(int32(v)))
+		st.dminus[v].Store(d.InDegree(int32(v)))
+	})
+	parallel.For(int(d.M()), p, func(a int) {
+		st.alive[a].Store(true)
+	})
+	st.arcsLeft.Store(d.M())
+	st.refreshActive(p)
+	return st
+}
+
+// refreshActive rebuilds the list of vertices with live out-arcs.
+func (st *wState) refreshActive(p int) {
+	var mu sync.Mutex
+	var act []int32
+	parallel.ForBlocks(st.d.N(), p, parallel.DefaultGrain, func(lo, hi int) {
+		var local []int32
+		for v := lo; v < hi; v++ {
+			if st.dplus[v].Load() > 0 {
+				local = append(local, int32(v))
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			act = append(act, local...)
+			mu.Unlock()
+		}
+	})
+	sort.Slice(act, func(i, j int) bool { return act[i] < act[j] })
+	st.active = act
+}
+
+// weight returns the current weight of the arc u -> head(a). Degrees only
+// decrease, so a stale read can only overestimate — the peel sweeps repeat
+// to a fixpoint, which makes overestimates safe (an arc is never removed
+// above the level, only kept one sweep too long).
+func (st *wState) weight(u int32, a int64) int64 {
+	return int64(st.dplus[u].Load()) * int64(st.dminus[st.d.ArcHead(a)].Load())
+}
+
+// minWeight returns the minimum live arc weight, or -1 if no arcs remain.
+func (st *wState) minWeight(p int) int64 {
+	var min atomic.Int64
+	min.Store(int64(1) << 62)
+	parallel.ForBlocks(len(st.active), p, 256, func(lo, hi int) {
+		local := int64(1) << 62
+		for i := lo; i < hi; i++ {
+			u := st.active[i]
+			alo, ahi := st.d.OutArcRange(u)
+			du := int64(st.dplus[u].Load())
+			if du == 0 {
+				continue
+			}
+			for a := alo; a < ahi; a++ {
+				if !st.alive[a].Load() {
+					continue
+				}
+				if w := du * int64(st.dminus[st.d.ArcHead(a)].Load()); w < local {
+					local = w
+				}
+			}
+		}
+		parallel.MinInt64(&min, local)
+	})
+	if min.Load() == int64(1)<<62 {
+		return -1
+	}
+	return min.Load()
+}
+
+// remove deletes arc a = (u, head) if still alive; returns whether this call
+// won the removal. Exactly one caller wins via the CAS, so degrees are
+// decremented once per arc.
+func (st *wState) remove(u int32, a int64) bool {
+	if !st.alive[a].CompareAndSwap(true, false) {
+		return false
+	}
+	st.dplus[u].Add(-1)
+	st.dminus[st.d.ArcHead(a)].Add(-1)
+	st.arcsLeft.Add(-1)
+	return true
+}
+
+// peelLevel removes, to a fixpoint, every live arc whose current weight is
+// at most level, optionally recording induce-numbers. It is the inner
+// while-loop of Algorithm 3 (lines 6-15): each sweep walks the active
+// vertices in parallel; removals lower neighbor degrees, which can pull
+// more arcs under the level, so sweeps repeat until one changes nothing.
+// Returns the number of sweeps.
+func (st *wState) peelLevel(level int64, induce []int64, p int) int {
+	sweeps := 0
+	for {
+		sweeps++
+		var changed atomic.Bool
+		parallel.ForBlocks(len(st.active), p, 256, func(lo, hi int) {
+			localChanged := false
+			for i := lo; i < hi; i++ {
+				u := st.active[i]
+				alo, ahi := st.d.OutArcRange(u)
+				for a := alo; a < ahi; a++ {
+					if !st.alive[a].Load() {
+						continue
+					}
+					if st.weight(u, a) <= level {
+						if st.remove(u, a) {
+							if induce != nil {
+								induce[a] = level
+							}
+							localChanged = true
+						}
+					}
+				}
+			}
+			if localChanged {
+				changed.Store(true)
+			}
+		})
+		if !changed.Load() {
+			return sweeps
+		}
+	}
+}
+
+// snapshotArcs returns the live arc ids (out-CSR order).
+func (st *wState) snapshotArcs() []int64 {
+	var arcs []int64
+	for _, u := range st.active {
+		alo, ahi := st.d.OutArcRange(u)
+		for a := alo; a < ahi; a++ {
+			if st.alive[a].Load() {
+				arcs = append(arcs, a)
+			}
+		}
+	}
+	return arcs
+}
+
+// DecomposeResult is the outcome of the full w-induced decomposition.
+type DecomposeResult struct {
+	// InduceNumber[a] is the induce-number (Definition 10) of arc id a.
+	InduceNumber []int64
+	// WStar is the maximum induce-number.
+	WStar int64
+	// Levels is the number of distinct weight levels processed.
+	Levels int
+}
+
+// WDecompose runs the paper's Algorithm 3 to completion: it iteratively
+// peels the arcs of minimum weight (cascading within each level in
+// parallel) and records every arc's induce-number. O(m·d_max) worst case.
+func WDecompose(d *graph.Directed, p int) DecomposeResult {
+	st := newWState(d, p)
+	induce := make([]int64, d.M())
+	res := DecomposeResult{InduceNumber: induce}
+	for st.arcsLeft.Load() > 0 {
+		level := st.minWeight(p)
+		st.peelLevel(level, induce, p)
+		st.refreshActive(p)
+		res.Levels++
+		if level > res.WStar {
+			res.WStar = level
+		}
+	}
+	return res
+}
+
+// WStarResult is the outcome of the PWC-oriented w*-subgraph computation.
+type WStarResult struct {
+	WStar int64
+	// Subgraph is the w*-induced subgraph re-labeled to dense ids;
+	// Original maps its vertices back to the input digraph.
+	Subgraph *graph.Directed
+	Original []int32
+	// ArcsAfterWarmStart is |E| remaining after the warm-start peel at
+	// w⁰ = d_max (the "PWC₁" column of the paper's Table 7).
+	ArcsAfterWarmStart int64
+	// ArcsAtWStar is |E| of the w*-induced subgraph ("PWC_w*" in Table 7).
+	ArcsAtWStar int64
+	// Levels is the number of weight levels processed (including the warm
+	// start), i.e. the t counter of Algorithm 3.
+	Levels int
+}
+
+// WStarSubgraph computes only the w*-induced subgraph, using the paper's
+// Remark: w* >= d_max (the hub vertex and its neighbors form a d_max-induced
+// subgraph), so the first level can immediately peel every arc of weight
+// < d_max — on the benchmark graphs this one step discards most of the
+// graph, which is where PWC's advantage over PXY comes from (Exp-6).
+//
+// After the warm start, and again whenever the live arc set shrinks by
+// another 8x, the working graph is re-materialized as a compact subgraph.
+// Without this the level sweeps keep scanning the original CSR ranges,
+// whose slots are mostly dead arcs — the re-compaction is the "reduce the
+// size of the graph in each iteration" step of the paper's Exp-6.
+func WStarSubgraph(d *graph.Directed, p int) WStarResult {
+	return WStarSubgraphOpts(d, p, true)
+}
+
+// WStarSubgraphOpts is WStarSubgraph with the d_max warm start switchable —
+// warmStart=false climbs from the global minimum weight like the plain
+// Algorithm 3, which is what the warm-start ablation bench compares
+// against.
+func WStarSubgraphOpts(d *graph.Directed, p int, warmStart bool) WStarResult {
+	var res WStarResult
+	if d.M() == 0 {
+		res.Subgraph = d
+		return res
+	}
+	st := newWState(d, p)
+	if warmStart {
+		dmax := int64(d.MaxOutDegree())
+		if in := int64(d.MaxInDegree()); in > dmax {
+			dmax = in
+		}
+		// Warm start: remove everything strictly below d_max. The
+		// remainder is the d_max-induced subgraph, non-empty by the Remark.
+		st.peelLevel(dmax-1, nil, p)
+		st.refreshActive(p)
+		res.Levels = 1
+	}
+	res.ArcsAfterWarmStart = st.arcsLeft.Load()
+
+	// cur is the current working graph; orig maps its vertex ids back to
+	// d's ids (nil = identity).
+	cur := d
+	var orig []int32
+	cur, orig, st = compactState(cur, orig, st, p)
+	lastCompact := st.arcsLeft.Load()
+
+	// Level loop: remember the state entering each level; when a level's
+	// peel empties the graph, that snapshot is the w*-induced subgraph.
+	prevArcs := st.snapshotArcs()
+	prevGraph, prevOrig := cur, orig
+	for {
+		level := st.minWeight(p)
+		if level < 0 {
+			// Defensive: cannot happen (the warm-start remainder is
+			// non-empty); treat the previous snapshot as final.
+			break
+		}
+		st.peelLevel(level, nil, p)
+		st.refreshActive(p)
+		res.Levels++
+		if st.arcsLeft.Load() == 0 {
+			res.WStar = level
+			break
+		}
+		if st.arcsLeft.Load() < lastCompact/8 {
+			cur, orig, st = compactState(cur, orig, st, p)
+			lastCompact = st.arcsLeft.Load()
+		}
+		prevArcs = st.snapshotArcs()
+		prevGraph, prevOrig = cur, orig
+	}
+	res.ArcsAtWStar = int64(len(prevArcs))
+	sub, subOrig := induceFromArcs(prevGraph, prevArcs)
+	res.Subgraph = sub
+	res.Original = composeMapping(prevOrig, subOrig)
+	return res
+}
+
+// compactState materializes the live subgraph of st as a fresh compact
+// digraph with fresh peeling state, composing the id mapping.
+func compactState(cur *graph.Directed, orig []int32, st *wState, p int) (*graph.Directed, []int32, *wState) {
+	live := st.snapshotArcs()
+	sub, subOrig := induceFromArcs(cur, live)
+	return sub, composeMapping(orig, subOrig), newWState(sub, p)
+}
+
+// composeMapping resolves sub-ids through an optional outer mapping
+// (nil = identity).
+func composeMapping(orig, subOrig []int32) []int32 {
+	if orig == nil {
+		return subOrig
+	}
+	out := make([]int32, len(subOrig))
+	for i, v := range subOrig {
+		out[i] = orig[v]
+	}
+	return out
+}
+
+// induceFromArcs builds a re-labeled digraph from a set of arc ids of d.
+func induceFromArcs(d *graph.Directed, arcIDs []int64) (*graph.Directed, []int32) {
+	tails := make([]int32, 0, len(arcIDs))
+	// Recover tails by walking arc ids against the CSR offsets; arcIDs is
+	// sorted (snapshot order), so a single forward scan suffices.
+	u := int32(0)
+	for _, a := range arcIDs {
+		for {
+			_, hi := d.OutArcRange(u)
+			if a < hi {
+				break
+			}
+			u++
+		}
+		tails = append(tails, u)
+	}
+	local := make(map[int32]int32)
+	var original []int32
+	lookup := func(v int32) int32 {
+		if lv, ok := local[v]; ok {
+			return lv
+		}
+		lv := int32(len(original))
+		local[v] = lv
+		original = append(original, v)
+		return lv
+	}
+	arcs := make([]graph.Edge, len(arcIDs))
+	for i, a := range arcIDs {
+		arcs[i] = graph.Edge{U: lookup(tails[i]), V: lookup(d.ArcHead(a))}
+	}
+	return graph.NewDirected(len(original), arcs), original
+}

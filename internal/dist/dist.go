@@ -1,0 +1,251 @@
+// Package dist simulates the distributed-memory deployment the paper's
+// conclusion names as its primary future work ("implement our algorithms
+// on a distributed computing platform (e.g., GraphX) ... when the graph is
+// too large to be kept by a single machine"). Vertices are hash-partitioned
+// across W workers; computation proceeds in BSP supersteps: every worker
+// updates the h-indices of its own vertices using only its local state plus
+// *ghost* copies of remote neighbors' values, then exchanges the boundary
+// values that changed. No worker ever reads another worker's state
+// directly, so the counted message traffic is exactly what a cluster
+// implementation would put on the wire.
+//
+// The simulation exists to answer the deployment questions ahead of a real
+// port: how many supersteps PKMC needs (same as its iterations — the
+// Theorem-1 early stop cuts communication rounds, not just local work),
+// and how much boundary traffic each round moves (deltas shrink fast as
+// h-values converge).
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Stats accounts the simulated communication.
+type Stats struct {
+	Workers        int
+	Supersteps     int
+	MessagesSent   int64 // worker-to-worker messages (batched per pair per superstep)
+	ValuesSent     int64 // (vertex, h) pairs shipped in those messages
+	BoundaryVerts  int64 // vertices with at least one cross-worker edge
+	GhostCopies    int64 // replicated remote values held across all workers
+	ValuesPerRound []int64
+}
+
+// KStarCoreResult is the distributed PKMC outcome.
+type KStarCoreResult struct {
+	KStar    int32
+	Vertices []int32
+	Stats    Stats
+}
+
+// worker is one simulated machine: it owns a vertex shard and holds ghost
+// h-values for the remote endpoints of its cut edges.
+type worker struct {
+	id       int
+	vertices []int32         // owned vertices (global ids)
+	h        map[int32]int32 // owned h-values
+	ghosts   map[int32]int32 // remote neighbor h-values, updated by messages
+	sendTo   map[int][]int32 // for each peer: owned boundary vertices it needs
+	buf      []int32         // h-index scratch
+}
+
+// owner hash-partitions vertices round-robin.
+func owner(v int32, w int) int { return int(v) % w }
+
+// KStarCore runs the paper's Algorithm 2 (PKMC) in the BSP model on w
+// simulated workers and returns the k*-core plus the traffic accounting.
+// Results are bit-identical to core.PKMC: partitioning changes who computes
+// what, never what is computed.
+func KStarCore(g *graph.Undirected, w int) KStarCoreResult {
+	if w < 1 {
+		w = 1
+	}
+	n := g.N()
+	workers := make([]*worker, w)
+	for i := range workers {
+		workers[i] = &worker{
+			id:     i,
+			h:      map[int32]int32{},
+			ghosts: map[int32]int32{},
+			sendTo: map[int][]int32{},
+			buf:    make([]int32, int(g.MaxDegree())+2),
+		}
+	}
+	var stats Stats
+	stats.Workers = w
+
+	// Placement + ghost discovery (the one-time graph-loading phase a real
+	// cluster pays during partitioning).
+	for v := int32(0); int(v) < n; v++ {
+		wk := workers[owner(v, w)]
+		wk.vertices = append(wk.vertices, v)
+		wk.h[v] = g.Degree(v)
+	}
+	for _, wk := range workers {
+		peerNeeds := map[int]map[int32]bool{}
+		for _, v := range wk.vertices {
+			boundary := false
+			for _, u := range g.Neighbors(v) {
+				if o := owner(u, w); o != wk.id {
+					boundary = true
+					wk.ghosts[u] = g.Degree(u) // initial exchange: degrees
+					if peerNeeds[o] == nil {
+						peerNeeds[o] = map[int32]bool{}
+					}
+					peerNeeds[o][v] = true
+				}
+			}
+			if boundary {
+				stats.BoundaryVerts++
+			}
+		}
+		for peer, set := range peerNeeds {
+			for v := range set {
+				wk.sendTo[peer] = append(wk.sendTo[peer], v)
+			}
+		}
+		stats.GhostCopies += int64(len(wk.ghosts))
+	}
+
+	// lookup reads a neighbor's h-value from local state or ghosts only.
+	lookup := func(wk *worker, u int32) int32 {
+		if hv, ok := wk.h[u]; ok {
+			return hv
+		}
+		return wk.ghosts[u]
+	}
+
+	hmax, count := globalTop(workers, w)
+	for {
+		stats.Supersteps++
+		// Compute phase: every worker sweeps its shard (Jacobi against the
+		// previous superstep's values, so shards are independent).
+		next := make([]map[int32]int32, w)
+		changedAny := false
+		var mu sync.Mutex
+		parallel.Workers(w, func(i int) {
+			wk := workers[i]
+			local := make(map[int32]int32, len(wk.vertices))
+			localChanged := false
+			vals := wk.buf
+			for _, v := range wk.vertices {
+				neighbors := g.Neighbors(v)
+				d := len(neighbors)
+				cnt := vals[:d+1]
+				for j := range cnt {
+					cnt[j] = 0
+				}
+				for _, u := range neighbors {
+					x := lookup(wk, u)
+					if x > int32(d) {
+						x = int32(d)
+					}
+					cnt[x]++
+				}
+				var atLeast, nh int32
+				for k := int32(d); k >= 1; k-- {
+					atLeast += cnt[k]
+					if atLeast >= k {
+						nh = k
+						break
+					}
+				}
+				local[v] = nh
+				if nh != wk.h[v] {
+					localChanged = true
+				}
+			}
+			next[i] = local
+			if localChanged {
+				mu.Lock()
+				changedAny = true
+				mu.Unlock()
+			}
+		})
+		// Exchange phase: ship only boundary values that changed (delta
+		// messages), then apply everything at the barrier.
+		type delta struct {
+			v int32
+			h int32
+		}
+		outbox := make([]map[int][]delta, w)
+		parallel.Workers(w, func(i int) {
+			wk := workers[i]
+			out := map[int][]delta{}
+			for peer, verts := range wk.sendTo {
+				for _, v := range verts {
+					if nh := next[i][v]; nh != wk.h[v] {
+						out[peer] = append(out[peer], delta{v, nh})
+					}
+				}
+			}
+			outbox[i] = out
+		})
+		var roundValues int64
+		for i := range workers {
+			for peer, ds := range outbox[i] {
+				if len(ds) == 0 {
+					continue
+				}
+				stats.MessagesSent++
+				stats.ValuesSent += int64(len(ds))
+				roundValues += int64(len(ds))
+				for _, d := range ds {
+					workers[peer].ghosts[d.v] = d.h
+				}
+			}
+		}
+		stats.ValuesPerRound = append(stats.ValuesPerRound, roundValues)
+		for i, wk := range workers {
+			for v, hv := range next[i] {
+				wk.h[v] = hv
+			}
+		}
+		if !changedAny {
+			break
+		}
+		// Global aggregation (an allreduce in a real system): Theorem-1
+		// early stop on (h_max, |{h = h_max}|).
+		nhmax, ncount := globalTop(workers, w)
+		if ncount > int64(nhmax) && nhmax == hmax && ncount == count {
+			break
+		}
+		hmax, count = nhmax, ncount
+	}
+
+	kstar, _ := globalTop(workers, w)
+	var core []int32
+	for _, wk := range workers {
+		for v, hv := range wk.h {
+			if hv == kstar {
+				core = append(core, v)
+			}
+		}
+	}
+	return KStarCoreResult{KStar: kstar, Vertices: core, Stats: stats}
+}
+
+// globalTop simulates the allreduce: maximum h and how many vertices
+// attain it, across all workers.
+func globalTop(workers []*worker, w int) (int32, int64) {
+	var hmax int32
+	for _, wk := range workers {
+		for _, hv := range wk.h {
+			if hv > hmax {
+				hmax = hv
+			}
+		}
+	}
+	var count int64
+	for _, wk := range workers {
+		for _, hv := range wk.h {
+			if hv == hmax {
+				count++
+			}
+		}
+	}
+	return hmax, count
+}

@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func randomGraph(seed int64, maxN, mult int) *graph.Undirected {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN)
+	var edges []graph.Edge
+	for i := 0; i < rng.Intn(n*mult+1); i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.NewUndirected(n, edges)
+}
+
+func sorted(a []int32) []int32 {
+	out := append([]int32(nil), a...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestDistributedMatchesSharedMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 60, 4)
+		want := core.PKMC(g, 2)
+		for _, w := range []int{1, 2, 3, 7} {
+			got := KStarCore(g, w)
+			if got.KStar != want.KStar {
+				return false
+			}
+			a, b := sorted(got.Vertices), sorted(want.Vertices)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleWorkerSendsNothing(t *testing.T) {
+	g := gen.ChungLu(2000, 20000, 2.3, 5)
+	res := KStarCore(g, 1)
+	if res.Stats.MessagesSent != 0 || res.Stats.ValuesSent != 0 {
+		t.Fatalf("w=1 sent %d messages / %d values", res.Stats.MessagesSent, res.Stats.ValuesSent)
+	}
+	if res.Stats.BoundaryVerts != 0 || res.Stats.GhostCopies != 0 {
+		t.Fatalf("w=1 has boundary state: %+v", res.Stats)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	body := gen.ChungLu(3000, 30000, 2.1, 6)
+	g := gen.Composite(body, 60, 4, 40, 7)
+	res := KStarCore(g, 4)
+	s := res.Stats
+	if s.Workers != 4 || s.Supersteps < 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.BoundaryVerts == 0 || s.GhostCopies == 0 {
+		t.Fatal("hash partitioning of a connected graph must cut edges")
+	}
+	if s.ValuesSent == 0 || s.MessagesSent == 0 {
+		t.Fatal("h-values must cross the cut while converging")
+	}
+	if len(s.ValuesPerRound) != s.Supersteps {
+		t.Fatalf("per-round series length %d != %d supersteps", len(s.ValuesPerRound), s.Supersteps)
+	}
+	// Values shipped per message batch can't exceed the ghost population.
+	if s.ValuesSent > int64(s.Supersteps)*s.GhostCopies {
+		t.Fatalf("traffic exceeds ghost capacity: %+v", s)
+	}
+	// Delta shipping: the first round moves the bulk, later rounds shrink.
+	first, last := s.ValuesPerRound[0], s.ValuesPerRound[len(s.ValuesPerRound)-1]
+	if last > first {
+		t.Fatalf("traffic grew across rounds: first %d, last %d", first, last)
+	}
+}
+
+func TestEarlyStopCutsSupersteps(t *testing.T) {
+	body := gen.ChungLu(3000, 30000, 2.1, 8)
+	g := gen.Composite(body, 60, 4, 50, 9)
+	res := KStarCore(g, 3)
+	full := core.Local(g, 2)
+	if res.Stats.Supersteps >= full.Iterations {
+		t.Fatalf("distributed PKMC used %d supersteps, full convergence %d — early stop saved no rounds",
+			res.Stats.Supersteps, full.Iterations)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if res := KStarCore(graph.NewUndirected(0, nil), 4); res.KStar != 0 || len(res.Vertices) != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	res := KStarCore(graph.NewUndirected(3, nil), 2)
+	if res.KStar != 0 || len(res.Vertices) != 3 {
+		t.Fatalf("edgeless graph: %+v", res)
+	}
+	if res := KStarCore(randomGraph(1, 20, 3), 0); res.Stats.Workers != 1 {
+		t.Fatalf("w<1 must clamp to 1: %+v", res.Stats)
+	}
+}
+
+func TestMoreWorkersMoreGhosts(t *testing.T) {
+	g := gen.ChungLu(2000, 16000, 2.3, 10)
+	g2 := KStarCore(g, 2).Stats
+	g8 := KStarCore(g, 8).Stats
+	if g8.GhostCopies <= g2.GhostCopies {
+		t.Fatalf("ghost population should grow with workers: w=2 %d, w=8 %d", g2.GhostCopies, g8.GhostCopies)
+	}
+}
+
+func randomDigraph(seed int64, maxN, mult int) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN)
+	var arcs []graph.Edge
+	for i := 0; i < rng.Intn(n*mult+1); i++ {
+		arcs = append(arcs, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.NewDirected(n, arcs)
+}
+
+func TestWStarMatchesSharedMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDigraph(seed, 40, 4)
+		if d.M() == 0 {
+			return true
+		}
+		want := dds.WStarSubgraph(d, 2)
+		for _, w := range []int{1, 3, 5} {
+			got := WStar(d, w)
+			if got.WStar != want.WStar {
+				return false
+			}
+			if got.Subgraph.M() != want.Subgraph.M() || got.Subgraph.N() != want.Subgraph.N() {
+				return false
+			}
+			a, b := sorted(got.Original), sorted(want.Original)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWStarSingleWorkerNoTraffic(t *testing.T) {
+	d := gen.ErdosRenyiDirected(800, 4000, 14)
+	res := WStar(d, 1)
+	if res.Stats.MessagesSent != 0 || res.Stats.GhostCopies != 0 {
+		t.Fatalf("w=1 traffic: %+v", res.Stats)
+	}
+}
+
+func TestWStarTrafficSane(t *testing.T) {
+	base := gen.ErdosRenyiDirected(2000, 12000, 15)
+	d, _, _ := gen.PlantBiclique(base, 15, 25, 16)
+	res := WStar(d, 4)
+	s := res.Stats
+	if s.GhostCopies == 0 || s.MessagesSent == 0 || s.Supersteps < 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if res.WStar < 15*25 {
+		t.Fatalf("w* = %d, want >= 375 (planted block)", res.WStar)
+	}
+}
+
+func TestWStarEmpty(t *testing.T) {
+	res := WStar(graph.NewDirected(3, nil), 2)
+	if res.WStar != 0 || res.Subgraph.M() != 0 {
+		t.Fatalf("%+v", res)
+	}
+}

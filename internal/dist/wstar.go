@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// This file is the directed counterpart of dist.KStarCore: the w-induced
+// subgraph decomposition (the paper's Algorithm 3) in the BSP model. Arcs
+// live with their tail's owner; the cross-worker state is the heads'
+// in-degrees — removing an arc sends a decrement to the head's owner, and
+// the owner broadcasts refreshed in-degree values to every worker holding
+// arcs into that head. The counted traffic is what a Pregel-style port of
+// PWC would move per peeling level.
+
+// WStarResult is the distributed w*-subgraph outcome.
+type WStarResult struct {
+	WStar    int64
+	Subgraph *graph.Directed
+	Original []int32 // Subgraph vertex ids -> input ids
+	Stats    Stats
+}
+
+// dworker owns a shard of tails and their out-arcs.
+type dworker struct {
+	id     int
+	arcs   []int64         // arc ids owned (out-CSR positions of owned tails)
+	alive  map[int64]bool  // owned arcs still present
+	dplus  map[int32]int32 // owned tails' out-degrees
+	dminus map[int32]int32 // in-degrees: owned heads authoritative, remote heads ghosts
+	subs   map[int32][]int // for owned heads: workers subscribing to its in-degree
+}
+
+// WStar computes the w*-induced subgraph of d on w simulated workers with
+// the d_max warm start, returning results identical to
+// dds.WStarSubgraph plus the communication accounting.
+func WStar(d *graph.Directed, w int) WStarResult {
+	if w < 1 {
+		w = 1
+	}
+	var res WStarResult
+	res.Stats.Workers = w
+	if d.M() == 0 {
+		res.Subgraph = d
+		return res
+	}
+	tails := d.ArcTails()
+	workers := make([]*dworker, w)
+	for i := range workers {
+		workers[i] = &dworker{
+			id:     i,
+			alive:  map[int64]bool{},
+			dplus:  map[int32]int32{},
+			dminus: map[int32]int32{},
+			subs:   map[int32][]int{},
+		}
+	}
+	// Placement: arcs with their tails; heads' in-degrees with the head
+	// owner; ghost in-degrees + subscriptions for cut arcs.
+	n := d.N()
+	for v := int32(0); int(v) < n; v++ {
+		wk := workers[owner(v, w)]
+		if dp := d.OutDegree(v); dp > 0 {
+			wk.dplus[v] = dp
+		}
+		if dm := d.InDegree(v); dm > 0 {
+			wk.dminus[v] = dm
+		}
+	}
+	for a := int64(0); a < d.M(); a++ {
+		u := tails[a]
+		v := d.ArcHead(a)
+		wk := workers[owner(u, w)]
+		wk.arcs = append(wk.arcs, a)
+		wk.alive[a] = true
+		if ho := owner(v, w); ho != wk.id {
+			if _, ok := wk.dminus[v]; !ok {
+				wk.dminus[v] = d.InDegree(v) // ghost copy
+				res.Stats.GhostCopies++
+				workers[ho].subs[v] = append(workers[ho].subs[v], wk.id)
+			}
+		}
+	}
+	for _, wk := range workers {
+		boundarySeen := map[int32]bool{}
+		for _, a := range wk.arcs {
+			v := d.ArcHead(a)
+			if owner(v, w) != wk.id && !boundarySeen[v] {
+				boundarySeen[v] = true
+			}
+		}
+		res.Stats.BoundaryVerts += int64(len(boundarySeen))
+	}
+
+	dmax := int64(d.MaxOutDegree())
+	if in := int64(d.MaxInDegree()); in > dmax {
+		dmax = in
+	}
+
+	// peelLevel removes every live arc of weight <= level to a global
+	// fixpoint, one BSP superstep per sweep.
+	peelLevel := func(level int64) {
+		for {
+			res.Stats.Supersteps++
+			// Compute phase: every worker peels against its current view.
+			decs := make([]map[int32]int32, w) // per-worker: head -> #removals
+			changed := false
+			parallel.Workers(w, func(i int) {
+				wk := workers[i]
+				local := map[int32]int32{}
+				for _, a := range wk.arcs {
+					if !wk.alive[a] {
+						continue
+					}
+					u, v := tails[a], d.ArcHead(a)
+					if int64(wk.dplus[u])*int64(wk.dminus[v]) <= level {
+						wk.alive[a] = false
+						wk.dplus[u]--
+						local[v]++
+					}
+				}
+				decs[i] = local
+			})
+			// Exchange phase: decrements go to head owners; owners apply
+			// and broadcast refreshed values to subscribers.
+			refreshed := map[int32]bool{}
+			for i, local := range decs {
+				if len(local) > 0 {
+					changed = true
+				}
+				for v, c := range local {
+					ho := owner(v, w)
+					if ho != i {
+						res.Stats.MessagesSent++
+						res.Stats.ValuesSent++
+					}
+					workers[ho].dminus[v] -= c
+					refreshed[v] = true
+				}
+			}
+			var roundValues int64
+			for v := range refreshed {
+				ho := owner(v, w)
+				nv := workers[ho].dminus[v]
+				for _, sub := range workers[ho].subs[v] {
+					workers[sub].dminus[v] = nv
+					res.Stats.MessagesSent++
+					res.Stats.ValuesSent++
+					roundValues++
+				}
+			}
+			res.Stats.ValuesPerRound = append(res.Stats.ValuesPerRound, roundValues)
+			if !changed {
+				return
+			}
+		}
+	}
+
+	// minWeight is the allreduce over live arcs.
+	minWeight := func() int64 {
+		min := int64(1) << 62
+		for _, wk := range workers {
+			for _, a := range wk.arcs {
+				if !wk.alive[a] {
+					continue
+				}
+				wgt := int64(wk.dplus[tails[a]]) * int64(wk.dminus[d.ArcHead(a)])
+				if wgt < min {
+					min = wgt
+				}
+			}
+		}
+		if min == int64(1)<<62 {
+			return -1
+		}
+		return min
+	}
+	liveArcs := func() []int64 {
+		var out []int64
+		for _, wk := range workers {
+			for _, a := range wk.arcs {
+				if wk.alive[a] {
+					out = append(out, a)
+				}
+			}
+		}
+		return out
+	}
+
+	// Warm start at d_max, then climb levels until the graph empties.
+	peelLevel(dmax - 1)
+	prev := liveArcs()
+	for {
+		level := minWeight()
+		if level < 0 {
+			break
+		}
+		peelLevel(level)
+		if minWeight() < 0 {
+			res.WStar = level
+			break
+		}
+		prev = liveArcs()
+	}
+	sortInt64(prev)
+	res.Subgraph, res.Original = induceFromArcIDs(d, tails, prev)
+	return res
+}
+
+// induceFromArcIDs mirrors dds.induceFromArcs without importing dds
+// (which would cycle if dds ever grows a distributed mode).
+func induceFromArcIDs(d *graph.Directed, tails []int32, arcIDs []int64) (*graph.Directed, []int32) {
+	local := make(map[int32]int32)
+	var original []int32
+	lookup := func(v int32) int32 {
+		if lv, ok := local[v]; ok {
+			return lv
+		}
+		lv := int32(len(original))
+		local[v] = lv
+		original = append(original, v)
+		return lv
+	}
+	arcs := make([]graph.Edge, len(arcIDs))
+	for i, a := range arcIDs {
+		arcs[i] = graph.Edge{U: lookup(tails[a]), V: lookup(d.ArcHead(a))}
+	}
+	return graph.NewDirected(len(original), arcs), original
+}
+
+func sortInt64(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dataset describes one scale-model stand-in for a paper dataset, with the
+// paper's original sizes kept for the Tables 4/5 reproduction.
+type Dataset struct {
+	Abbr     string // the paper's abbreviation (PT, EW, ...)
+	Name     string // full dataset name
+	Category string
+	Directed bool
+
+	// Original KONECT/LAW sizes reported in the paper.
+	PaperN int64
+	PaperM int64
+
+	// Scale-model generator parameters.
+	build func(scale float64) any // *graph.Undirected or *graph.Directed
+}
+
+// UndirectedCatalog returns the six undirected dataset models of Table 4 in
+// paper order: PT, EW, EU, IT, SK, UN.
+//
+// Each model composes a power-law body (Chung–Lu for the social/knowledge
+// graphs, RMAT for the web crawls) with a planted nucleus clique — which
+// fixes k* and hence PKC's level count — and pendant filament chains, which
+// fix Local's convergence length. The (clique, chainLen) pairs are chosen
+// so the Table-6 iteration ordering PKC ≫ Local ≫ PKMC matches the paper's
+// ratios at laptop scale.
+func UndirectedCatalog() []Dataset {
+	return []Dataset{
+		{
+			Abbr: "PT", Name: "Petster", Category: "Family link",
+			PaperN: 623_766, PaperM: 15_699_276,
+			build: func(s float64) any {
+				body := ChungLu(scaleN(20_000, s), scaleM(450_000, s), 2.1, 101)
+				return Composite(body, nucleus(260, s), 4, nucleus(22, s), 151)
+			},
+		},
+		{
+			Abbr: "EW", Name: "eswiki-2013", Category: "Knowledge",
+			PaperN: 972_933, PaperM: 23_041_488,
+			build: func(s float64) any {
+				body := ChungLu(scaleN(30_000, s), scaleM(600_000, s), 2.2, 102)
+				return Composite(body, nucleus(420, s), 4, nucleus(18, s), 152)
+			},
+		},
+		{
+			Abbr: "EU", Name: "eu-2015", Category: "Web",
+			PaperN: 11_264_052, PaperM: 379_731_874,
+			build: func(s float64) any {
+				body := RMATUndirected(rmatScale(60_000, s), scaleM(1_000_000, s), 0.57, 0.19, 0.19, 103)
+				return Composite(body, nucleus(480, s), 4, nucleus(85, s), 153)
+			},
+		},
+		{
+			Abbr: "IT", Name: "it-2004", Category: "Web",
+			PaperN: 41_291_594, PaperM: 1_150_725_436,
+			build: func(s float64) any {
+				body := RMATUndirected(rmatScale(80_000, s), scaleM(1_400_000, s), 0.57, 0.19, 0.19, 104)
+				return Composite(body, nucleus(320, s), 4, nucleus(170, s), 154)
+			},
+		},
+		{
+			Abbr: "SK", Name: "sk-2005", Category: "Web",
+			PaperN: 50_636_154, PaperM: 1_949_412_601,
+			build: func(s float64) any {
+				body := RMATUndirected(rmatScale(100_000, s), scaleM(1_750_000, s), 0.59, 0.19, 0.19, 105)
+				return Composite(body, nucleus(450, s), 4, nucleus(290, s), 155)
+			},
+		},
+		{
+			Abbr: "UN", Name: "uk-union", Category: "Web",
+			PaperN: 133_633_040, PaperM: 5_507_679_822,
+			build: func(s float64) any {
+				body := RMATUndirected(rmatScale(120_000, s), scaleM(2_100_000, s), 0.59, 0.19, 0.19, 106)
+				return Composite(body, nucleus(360, s), 4, nucleus(230, s), 156)
+			},
+		},
+	}
+}
+
+// DirectedCatalog returns the six directed dataset models of Table 5 in
+// paper order: AM, AR, BA, DL, WE, TW.
+func DirectedCatalog() []Dataset {
+	return []Dataset{
+		{
+			Abbr: "AM", Name: "Amazon", Category: "E-commerce", Directed: true,
+			PaperN: 403_394, PaperM: 3_387_388,
+			// Amazon has tiny d+max (10) and large d-max: near-uniform out,
+			// heavy-tailed in.
+			build: func(s float64) any {
+				body := ChungLuDirected(scaleN(15_000, s), scaleM(110_000, s), 9.0, 2.1, 201)
+				return CompositeDirected(body, nucleus(40, s), nucleus(55, s), 251)
+			},
+		},
+		{
+			Abbr: "AR", Name: "Amazon ratings", Category: "E-commerce", Directed: true,
+			PaperN: 3_376_972, PaperM: 5_838_041,
+			build: func(s float64) any {
+				body := ChungLuDirected(scaleN(40_000, s), scaleM(65_000, s), 2.2, 2.3, 202)
+				return CompositeDirected(body, nucleus(30, s), nucleus(40, s), 252)
+			},
+		},
+		{
+			Abbr: "BA", Name: "Baidu", Category: "Knowledge", Directed: true,
+			PaperN: 2_141_300, PaperM: 17_794_839,
+			build: func(s float64) any {
+				body := ChungLuDirected(scaleN(30_000, s), scaleM(230_000, s), 2.6, 2.1, 203)
+				return CompositeDirected(body, nucleus(45, s), nucleus(60, s), 253)
+			},
+		},
+		{
+			Abbr: "DL", Name: "DBpedia links", Category: "Knowledge", Directed: true,
+			PaperN: 18_268_992, PaperM: 136_537_566,
+			build: func(s float64) any {
+				body := RMATDirected(rmatScale(60_000, s), scaleM(420_000, s), 0.57, 0.19, 0.19, 204)
+				return CompositeDirected(body, nucleus(55, s), nucleus(75, s), 254)
+			},
+		},
+		{
+			Abbr: "WE", Name: "Wikilink en", Category: "Knowledge", Directed: true,
+			PaperN: 13_593_032, PaperM: 437_217_424,
+			build: func(s float64) any {
+				body := RMATDirected(rmatScale(50_000, s), scaleM(750_000, s), 0.57, 0.19, 0.19, 205)
+				return CompositeDirected(body, nucleus(65, s), nucleus(85, s), 255)
+			},
+		},
+		{
+			Abbr: "TW", Name: "Twitter", Category: "Social", Directed: true,
+			PaperN: 52_579_682, PaperM: 1_963_263_821,
+			build: func(s float64) any {
+				body := RMATDirected(rmatScale(80_000, s), scaleM(1_300_000, s), 0.55, 0.19, 0.19, 206)
+				return CompositeDirected(body, nucleus(80, s), nucleus(110, s), 256)
+			},
+		},
+	}
+}
+
+// BuildUndirected materializes the scale model at the given size multiplier
+// (1.0 = the DESIGN.md laptop scale; benches use smaller multipliers for
+// quick runs). It panics if called on a directed dataset.
+func (d Dataset) BuildUndirected(scale float64) *graph.Undirected {
+	if d.Directed {
+		panic("gen: BuildUndirected on directed dataset " + d.Abbr)
+	}
+	return d.build(scale).(*graph.Undirected)
+}
+
+// BuildDirected materializes the scale model of a directed dataset.
+func (d Dataset) BuildDirected(scale float64) *graph.Directed {
+	if !d.Directed {
+		panic("gen: BuildDirected on undirected dataset " + d.Abbr)
+	}
+	return d.build(scale).(*graph.Directed)
+}
+
+// FindDataset looks a dataset up by abbreviation (case-sensitive) across
+// both catalogs.
+func FindDataset(abbr string) (Dataset, bool) {
+	for _, d := range append(UndirectedCatalog(), DirectedCatalog()...) {
+		if d.Abbr == abbr {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// DatasetAbbrs returns all catalog abbreviations, undirected first, each
+// group in paper order.
+func DatasetAbbrs() []string {
+	var out []string
+	for _, d := range UndirectedCatalog() {
+		out = append(out, d.Abbr)
+	}
+	for _, d := range DirectedCatalog() {
+		out = append(out, d.Abbr)
+	}
+	return out
+}
+
+// nucleus scales planted-structure sizes (clique/biclique/chain lengths)
+// with the fourth root of the model scale: the body's natural core density
+// is scale-invariant (average degree does not change with s), so the
+// planted nucleus must shrink much more slowly than the graph to stay the
+// dominant dense structure. Floor of 6 keeps tiny models non-degenerate.
+func nucleus(base int, s float64) int {
+	if s > 1 {
+		s = 1
+	}
+	v := int(float64(base) * math.Pow(s, 0.25))
+	if v < 6 {
+		v = 6
+	}
+	return v
+}
+
+func scaleN(base int, s float64) int {
+	n := int(float64(base) * s)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+func scaleM(base int64, s float64) int64 {
+	m := int64(float64(base) * s)
+	if m < 32 {
+		m = 32
+	}
+	return m
+}
+
+// rmatScale converts a target vertex count into the RMAT scale exponent
+// (RMAT vertex counts are powers of two).
+func rmatScale(targetN int, s float64) int {
+	n := scaleN(targetN, s)
+	sc := 4
+	for (1 << sc) < n {
+		sc++
+	}
+	return sc
+}
+
+// FormatCatalog renders Tables 4 and 5 for a set of materialized stats,
+// paper sizes alongside the scale-model sizes.
+func FormatCatalog(datasets []Dataset, stats []graph.Stats) string {
+	idx := map[string]graph.Stats{}
+	for _, s := range stats {
+		idx[s.Name] = s
+	}
+	rows := make([]string, 0, len(datasets)+1)
+	rows = append(rows, fmt.Sprintf("%-4s %-14s %-12s %14s %14s | %10s %12s",
+		"Abbr", "Name", "Category", "paper |V|", "paper |E|", "model |V|", "model |E|"))
+	for _, d := range datasets {
+		s, ok := idx[d.Abbr]
+		if !ok {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("%-4s %-14s %-12s %14d %14d | %10d %12d",
+			d.Abbr, d.Name, d.Category, d.PaperN, d.PaperM, s.N, s.M))
+	}
+	sort.Strings(rows[1:])
+	out := ""
+	for _, r := range rows {
+		out += r + "\n"
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCatalogCompleteness(t *testing.T) {
+	und := UndirectedCatalog()
+	dir := DirectedCatalog()
+	if len(und) != 6 || len(dir) != 6 {
+		t.Fatalf("catalog sizes: %d undirected, %d directed, want 6 each", len(und), len(dir))
+	}
+	wantU := []string{"PT", "EW", "EU", "IT", "SK", "UN"}
+	for i, d := range und {
+		if d.Abbr != wantU[i] {
+			t.Fatalf("undirected order: got %s at %d, want %s", d.Abbr, i, wantU[i])
+		}
+		if d.Directed {
+			t.Fatalf("%s marked directed", d.Abbr)
+		}
+	}
+	wantD := []string{"AM", "AR", "BA", "DL", "WE", "TW"}
+	for i, d := range dir {
+		if d.Abbr != wantD[i] {
+			t.Fatalf("directed order: got %s at %d, want %s", d.Abbr, i, wantD[i])
+		}
+		if !d.Directed {
+			t.Fatalf("%s not marked directed", d.Abbr)
+		}
+	}
+}
+
+func TestCatalogPaperSizes(t *testing.T) {
+	// Spot-check against the paper's Tables 4 and 5.
+	pt, ok := FindDataset("PT")
+	if !ok || pt.PaperN != 623_766 || pt.PaperM != 15_699_276 {
+		t.Fatalf("PT paper sizes wrong: %+v", pt)
+	}
+	tw, ok := FindDataset("TW")
+	if !ok || tw.PaperN != 52_579_682 || tw.PaperM != 1_963_263_821 {
+		t.Fatalf("TW paper sizes wrong: %+v", tw)
+	}
+}
+
+func TestFindDatasetMiss(t *testing.T) {
+	if _, ok := FindDataset("XX"); ok {
+		t.Fatal("found nonexistent dataset")
+	}
+}
+
+func TestDatasetAbbrs(t *testing.T) {
+	abbrs := DatasetAbbrs()
+	if len(abbrs) != 12 || abbrs[0] != "PT" || abbrs[11] != "TW" {
+		t.Fatalf("abbrs = %v", abbrs)
+	}
+}
+
+func TestBuildSmallScaleModels(t *testing.T) {
+	// Build every dataset at a tiny scale; sanity the shape.
+	for _, ds := range UndirectedCatalog() {
+		g := ds.BuildUndirected(0.01)
+		if g.N() < 16 || g.M() < 16 {
+			t.Fatalf("%s scale model too small: n=%d m=%d", ds.Abbr, g.N(), g.M())
+		}
+	}
+	for _, ds := range DirectedCatalog() {
+		d := ds.BuildDirected(0.01)
+		if d.N() < 16 || d.M() < 16 {
+			t.Fatalf("%s scale model too small: n=%d m=%d", ds.Abbr, d.N(), d.M())
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	ds, _ := FindDataset("PT")
+	a := ds.BuildUndirected(0.02)
+	b := ds.BuildUndirected(0.02)
+	if a.M() != b.M() || a.N() != b.N() {
+		t.Fatal("scale model not deterministic")
+	}
+}
+
+func TestBuildKindMismatchPanics(t *testing.T) {
+	ds, _ := FindDataset("PT")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildDirected on undirected dataset must panic")
+		}
+	}()
+	ds.BuildDirected(0.01)
+}
+
+func TestFormatCatalog(t *testing.T) {
+	und := UndirectedCatalog()
+	var stats []graph.Stats
+	for _, ds := range und[:2] {
+		g := ds.BuildUndirected(0.01)
+		stats = append(stats, g.Summarize(ds.Abbr))
+	}
+	out := FormatCatalog(und[:2], stats)
+	if !strings.Contains(out, "PT") || !strings.Contains(out, "Petster") {
+		t.Fatalf("formatted catalog missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "623766") {
+		t.Fatalf("paper sizes missing:\n%s", out)
+	}
+}
+
+func TestDirectedModelsPreserveHubAsymmetry(t *testing.T) {
+	// AM's defining trait in Table 5 is d+max (10) vastly below d-max
+	// (2751); its scale model must keep that ordering.
+	ds, _ := FindDataset("AM")
+	d := ds.BuildDirected(0.2)
+	if d.MaxOutDegree()*2 > d.MaxInDegree() {
+		t.Fatalf("AM model lost asymmetry: d+max=%d d-max=%d", d.MaxOutDegree(), d.MaxInDegree())
+	}
+}

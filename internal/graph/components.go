@@ -1,0 +1,98 @@
+package graph
+
+// ConnectedComponents labels each vertex with a component id in [0, k) and
+// returns the labels plus k. Isolated vertices get their own component. The
+// traversal is an iterative BFS with an explicit frontier, safe for graphs
+// whose diameter would overflow a recursive DFS stack.
+func (g *Undirected) ConnectedComponents() (label []int32, k int) {
+	n := g.N()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := int32(0); int(s) < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		id := int32(k)
+		k++
+		label[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if label[v] < 0 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label, k
+}
+
+// LargestComponent returns the vertex set of the largest connected
+// component (ties broken by smallest label).
+func (g *Undirected) LargestComponent() []int32 {
+	label, k := g.ConnectedComponents()
+	if k == 0 {
+		return nil
+	}
+	size := make([]int, k)
+	for _, l := range label {
+		size[l]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if size[c] > size[best] {
+			best = c
+		}
+	}
+	out := make([]int32, 0, size[best])
+	for v, l := range label {
+		if int(l) == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// WeaklyConnectedComponents labels vertices of a digraph by the components
+// of its underlying undirected graph, without materializing that graph: the
+// BFS expands along both out- and in-arcs.
+func (d *Directed) WeaklyConnectedComponents() (label []int32, k int) {
+	n := d.N()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := int32(0); int(s) < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		id := int32(k)
+		k++
+		label[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range d.OutNeighbors(u) {
+				if label[v] < 0 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range d.InNeighbors(u) {
+				if label[v] < 0 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label, k
+}

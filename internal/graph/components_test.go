@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConnectedComponentsTwoIslands(t *testing.T) {
+	g := NewUndirected(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	label, k := g.ConnectedComponents()
+	if k != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("triangle vertices in different components")
+	}
+	if label[3] != label[4] || label[3] == label[0] {
+		t.Fatal("island {3,4} mislabeled")
+	}
+	if label[5] == label[0] || label[5] == label[3] {
+		t.Fatal("isolated vertex mislabeled")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := NewUndirected(7, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}})
+	lc := g.LargestComponent()
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+}
+
+func TestLargestComponentEmptyGraph(t *testing.T) {
+	g := NewUndirected(0, nil)
+	if lc := g.LargestComponent(); lc != nil {
+		t.Fatalf("empty graph: got %v", lc)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// 0->1, 2->1 weakly connects {0,1,2}; 3 isolated.
+	d := NewDirected(4, []Edge{{0, 1}, {2, 1}})
+	label, k := d.WeaklyConnectedComponents()
+	if k != 2 {
+		t.Fatalf("k = %d, want 2", k)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("weak component split")
+	}
+}
+
+// Property: component labels partition vertices, and no edge crosses
+// components.
+func TestComponentsAreEdgeClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(100)
+		var edges []Edge
+		for i := 0; i < n/2; i++ { // sparse: plenty of components
+			edges = append(edges, Edge{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		g := NewUndirected(n, edges)
+		label, k := g.ConnectedComponents()
+		for v := int32(0); int(v) < n; v++ {
+			if label[v] < 0 || int(label[v]) >= k {
+				t.Fatalf("label out of range at %d", v)
+			}
+			for _, u := range g.Neighbors(v) {
+				if label[u] != label[v] {
+					t.Fatalf("edge %d-%d crosses components", v, u)
+				}
+			}
+		}
+	}
+}

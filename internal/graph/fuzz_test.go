@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList drives the text parser with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a write/read round
+// trip with sizes intact.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("% comment\n10 20 1.5 999\n\n20 30\n")
+	f.Add("x y\n")
+	f.Add("-1 5\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, n, ids, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(ids) != n {
+			t.Fatalf("id table has %d entries for %d vertices", len(ids), n)
+		}
+		for _, e := range edges {
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				t.Fatalf("edge %v outside compacted range [0,%d)", e, n)
+			}
+		}
+		g := NewUndirected(n, edges)
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadUndirected(&buf)
+		if err != nil {
+			t.Fatalf("rejecting own output: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.M(), g2.M())
+		}
+	})
+}
+
+// FuzzReadBinary drives the binary loader with arbitrary bytes: it must
+// reject garbage with an error, never a panic or an over-allocation crash.
+func FuzzReadBinary(f *testing.F) {
+	g := NewUndirected(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	var seed bytes.Buffer
+	g.WriteBinary(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("DSDG"))
+	f.Add([]byte("DSDG\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinaryUndirected(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: basic invariants must hold.
+		var degSum int64
+		for v := 0; v < g.N(); v++ {
+			degSum += int64(g.Degree(int32(v)))
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m %d", degSum, 2*g.M())
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "% comment\n# another\n10 20\n20 30\n\n10 30\n"
+	edges, n, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 3 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+	if ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestReadEdgeListExtraFieldsTolerated(t *testing.T) {
+	// KONECT files carry weight/timestamp columns; they must be ignored.
+	in := "1 2 1.0 1234567\n2 3 5\n"
+	edges, n, _, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 2 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"1\n", "a b\n", "1 b\n", "-1 2\n"}
+	for _, in := range cases {
+		if _, _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: want error", in)
+		}
+	}
+}
+
+func TestUndirectedTextRoundTrip(t *testing.T) {
+	g := NewUndirected(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadUndirected(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("M = %d, want %d", g2.M(), g.M())
+	}
+}
+
+func TestDirectedTextRoundTrip(t *testing.T) {
+	d := NewDirected(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 0}})
+	var buf bytes.Buffer
+	if err := d.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDirected(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.M() != d.M() {
+		t.Fatalf("M = %d, want %d", d2.M(), d.M())
+	}
+	// Text ids are compacted, but this graph is already dense so the arcs
+	// must match exactly.
+	for u := int32(0); int(u) < d.N(); u++ {
+		for _, v := range d.OutNeighbors(u) {
+			if !d2.HasArc(u, v) {
+				t.Fatalf("arc %d->%d lost", u, v)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripUndirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var edges []Edge
+	n := 100
+	for i := 0; i < 400; i++ {
+		edges = append(edges, Edge{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	g := NewUndirected(n, edges)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryUndirected(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestBinaryRoundTripDirected(t *testing.T) {
+	d := NewDirected(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBinaryDirected(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.M() != d.M() {
+		t.Fatal("arc count mismatch")
+	}
+}
+
+func TestBinaryKindMismatchRejected(t *testing.T) {
+	g := NewUndirected(2, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	g.WriteBinary(&buf)
+	if _, err := ReadBinaryDirected(&buf); err == nil {
+		t.Fatal("directed reader accepted undirected file")
+	}
+	d := NewDirected(2, []Edge{{0, 1}})
+	buf.Reset()
+	d.WriteBinary(&buf)
+	if _, err := ReadBinaryUndirected(&buf); err == nil {
+		t.Fatal("undirected reader accepted directed file")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinaryUndirected(bytes.NewReader([]byte("NOPE12345678901234567"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := NewUndirected(3, []Edge{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	g.WriteBinary(&buf)
+	raw := buf.Bytes()
+	if _, err := ReadBinaryUndirected(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+// failingWriter errors after N bytes — failure injection for the writers.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errShort
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errShort
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errShort = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "injected write failure" }
+
+func TestWritersPropagateErrors(t *testing.T) {
+	g := NewUndirected(300, func() []Edge {
+		var es []Edge
+		for i := int32(0); i < 299; i++ {
+			es = append(es, Edge{U: i, V: i + 1})
+		}
+		return es
+	}())
+	if err := g.WriteEdgeList(&failingWriter{n: 10}); err == nil {
+		t.Fatal("text writer swallowed the error")
+	}
+	if err := g.WriteBinary(&failingWriter{n: 10}); err == nil {
+		t.Fatal("binary writer swallowed the error")
+	}
+	d := NewDirected(300, func() []Edge {
+		var es []Edge
+		for i := int32(0); i < 299; i++ {
+			es = append(es, Edge{U: i, V: i + 1})
+		}
+		return es
+	}())
+	if err := d.WriteEdgeList(&failingWriter{n: 10}); err == nil {
+		t.Fatal("directed text writer swallowed the error")
+	}
+	if err := d.WriteBinary(&failingWriter{n: 10}); err == nil {
+		t.Fatal("directed binary writer swallowed the error")
+	}
+}

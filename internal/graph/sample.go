@@ -1,0 +1,49 @@
+package graph
+
+import "math/rand"
+
+// SampleEdges returns the subgraph induced by keeping each edge
+// independently with probability frac (clamped to [0, 1]) and the same
+// vertex set, using the given seed. This is exactly the scalability-test
+// protocol of the paper's Exp-4 and Exp-8: "randomly select 20%, 40%, 60%,
+// 80%, and 100% of its edges, and then obtain ... subgraphs induced by these
+// edges". Keeping n fixed makes the sweeps comparable across fractions.
+func (g *Undirected) SampleEdges(frac float64, seed int64) *Undirected {
+	if frac >= 1 {
+		return g
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kept := make([]Edge, 0, int(float64(g.M())*frac)+16)
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v && rng.Float64() < frac {
+				kept = append(kept, Edge{u, v})
+			}
+		}
+	}
+	return NewUndirected(g.N(), kept)
+}
+
+// SampleEdges returns the sub-digraph obtained by keeping each arc with
+// probability frac, vertex set unchanged (see Undirected.SampleEdges).
+func (d *Directed) SampleEdges(frac float64, seed int64) *Directed {
+	if frac >= 1 {
+		return d
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kept := make([]Edge, 0, int(float64(d.M())*frac)+16)
+	for u := int32(0); int(u) < d.N(); u++ {
+		for _, v := range d.OutNeighbors(u) {
+			if rng.Float64() < frac {
+				kept = append(kept, Edge{u, v})
+			}
+		}
+	}
+	return NewDirected(d.N(), kept)
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func denseRandom(n int, m int, seed int64) *Undirected {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	return NewUndirected(n, edges)
+}
+
+func TestSampleEdgesFraction(t *testing.T) {
+	g := denseRandom(200, 4000, 1)
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		s := g.SampleEdges(frac, 99)
+		got := float64(s.M()) / float64(g.M())
+		if got < frac-0.1 || got > frac+0.1 {
+			t.Fatalf("frac %.1f: kept %.3f of edges", frac, got)
+		}
+		if s.N() != g.N() {
+			t.Fatal("vertex set must be preserved")
+		}
+	}
+}
+
+func TestSampleEdgesBoundaries(t *testing.T) {
+	g := denseRandom(50, 300, 2)
+	if s := g.SampleEdges(1.0, 1); s != g {
+		t.Fatal("frac >= 1 must return the receiver unchanged")
+	}
+	if s := g.SampleEdges(0, 1); s.M() != 0 {
+		t.Fatalf("frac 0 kept %d edges", s.M())
+	}
+	if s := g.SampleEdges(-1, 1); s.M() != 0 {
+		t.Fatal("negative frac must clamp to 0")
+	}
+}
+
+func TestSampleEdgesDeterministic(t *testing.T) {
+	g := denseRandom(100, 1000, 3)
+	a := g.SampleEdges(0.5, 42)
+	b := g.SampleEdges(0.5, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different samples")
+	}
+}
+
+func TestSampleEdgesSubsetOfOriginal(t *testing.T) {
+	g := denseRandom(80, 600, 4)
+	s := g.SampleEdges(0.5, 7)
+	for u := int32(0); int(u) < s.N(); u++ {
+		for _, v := range s.Neighbors(u) {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("sampled edge %d-%d not in original", u, v)
+			}
+		}
+	}
+}
+
+func TestSampleEdgesDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var arcs []Edge
+	n := 150
+	for i := 0; i < 3000; i++ {
+		arcs = append(arcs, Edge{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	d := NewDirected(n, arcs)
+	s := d.SampleEdges(0.4, 11)
+	got := float64(s.M()) / float64(d.M())
+	if got < 0.3 || got > 0.5 {
+		t.Fatalf("kept %.3f of arcs, want ~0.4", got)
+	}
+	for u := int32(0); int(u) < s.N(); u++ {
+		for _, v := range s.OutNeighbors(u) {
+			if !d.HasArc(u, v) {
+				t.Fatalf("sampled arc %d->%d not in original", u, v)
+			}
+		}
+	}
+	if full := d.SampleEdges(1.0, 1); full != d {
+		t.Fatal("frac >= 1 must return the receiver")
+	}
+}

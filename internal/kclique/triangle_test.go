@@ -1,0 +1,167 @@
+package kclique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func randomGraph(seed int64, maxN, mult int) *graph.Undirected {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(maxN)
+	var edges []graph.Edge
+	for i := 0; i < rng.Intn(n*mult+1); i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.NewUndirected(n, edges)
+}
+
+// naiveTriangleCounts checks every vertex triple.
+func naiveTriangleCounts(g *graph.Undirected) []int64 {
+	n := g.N()
+	counts := make([]int64, n)
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if !g.HasEdge(u, v) {
+				continue
+			}
+			for w := v + 1; int(w) < n; w++ {
+				if g.HasEdge(u, w) && g.HasEdge(v, w) {
+					counts[u]++
+					counts[v]++
+					counts[w]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+func TestTriangleCountsAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 30, 4)
+		got := TriangleCounts(g, 2)
+		want := naiveTriangleCounts(g)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalTriangles(t *testing.T) {
+	// K4 has C(4,3) = 4 triangles.
+	var edges []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	g := graph.NewUndirected(4, edges)
+	if got := TotalTriangles(g, 2); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	path := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if got := TotalTriangles(path, 2); got != 0 {
+		t.Fatalf("path triangles = %d", got)
+	}
+}
+
+func TestDensestOnPureClique(t *testing.T) {
+	const k = 8
+	var edges []graph.Edge
+	for i := int32(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	g := graph.NewUndirected(k, edges)
+	res := Densest(g, 2)
+	want := float64(k*(k-1)*(k-2)/6) / float64(k) // C(k,3)/k = 7
+	if res.TriangleDensity < want-1e-9 {
+		t.Fatalf("clique ρ₃ = %v, want %v", res.TriangleDensity, want)
+	}
+	if len(res.Vertices) != k {
+		t.Fatalf("|S| = %d, want the whole clique", len(res.Vertices))
+	}
+}
+
+func TestDensestRecoversPlantedClique(t *testing.T) {
+	base := gen.ErdosRenyi(1000, 3000, 60)
+	g, planted := gen.PlantClique(base, 15, 61)
+	res := Densest(g, 2)
+	// The planted clique's ρ₃ is C(15,3)/15 ≈ 30.3; a 3-approximation must
+	// return at least a third of the optimum, and on this instance the peel
+	// lands on the clique itself.
+	k := float64(len(planted))
+	optimum := k * (k - 1) * (k - 2) / 6 / k
+	if res.TriangleDensity*3 < optimum {
+		t.Fatalf("ρ₃ = %v violates the 3-approximation of %v", res.TriangleDensity, optimum)
+	}
+	in := map[int32]bool{}
+	for _, v := range res.Vertices {
+		in[v] = true
+	}
+	hit := 0
+	for _, v := range planted {
+		if in[v] {
+			hit++
+		}
+	}
+	if hit < len(planted) {
+		t.Fatalf("recovered %d / %d planted vertices", hit, len(planted))
+	}
+}
+
+func TestDensestTriangleFree(t *testing.T) {
+	g := graph.NewUndirected(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	res := Densest(g, 2)
+	if res.TriangleDensity != 0 {
+		t.Fatalf("triangle-free ρ₃ = %v", res.TriangleDensity)
+	}
+}
+
+func TestDensestEmpty(t *testing.T) {
+	if res := Densest(graph.NewUndirected(0, nil), 2); len(res.Vertices) != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// TestDensestBeatsEdgePeelOnMixedGraph documents the model difference: on
+// a graph holding a big sparse-but-edge-dense bipartite block and a small
+// clique, triangle density prefers the clique while edge density prefers
+// the block.
+func TestDensestBeatsEdgePeelOnMixedGraph(t *testing.T) {
+	var edges []graph.Edge
+	// Complete bipartite K(20,20) on vertices 0..39: edge-dense (density
+	// 10) but triangle-free.
+	for i := int32(0); i < 20; i++ {
+		for j := int32(20); j < 40; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	// K8 on vertices 40..47: triangle-rich.
+	for i := int32(40); i < 48; i++ {
+		for j := i + 1; j < 48; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	g := graph.NewUndirected(48, edges)
+	res := Densest(g, 2)
+	for _, v := range res.Vertices {
+		if v < 40 {
+			t.Fatalf("triangle peel kept bipartite vertex %d", v)
+		}
+	}
+	if res.TriangleDensity != 7 { // C(8,3)/8
+		t.Fatalf("ρ₃ = %v, want 7", res.TriangleDensity)
+	}
+}

@@ -1,0 +1,116 @@
+package maxflow
+
+// SolvePushRelabel computes the maximum s-t flow with the FIFO
+// push-relabel algorithm (Goldberg–Tarjan) with the gap heuristic — the
+// alternative engine to Dinic's Solve, kept because the two have opposite
+// strengths on the densest-subgraph networks: push-relabel wins on the
+// dense, shallow project-selection graphs of the exact DDS solver, Dinic
+// on the long thin residual paths of Goldberg's UDS network (see
+// BenchmarkFlowEngines). Like Solve, it leaves the network in residual
+// form (MinCutSource applies) and must be called once per network.
+func (nw *Network) SolvePushRelabel(s, t int32) float64 {
+	n := nw.N()
+	if s == t {
+		return 0
+	}
+	height := make([]int32, n)
+	excess := make([]float64, n)
+	countAt := make([]int32, 2*n+1) // #vertices per height, for the gap heuristic
+	inQueue := make([]bool, n)
+	queue := make([]int32, 0, n)
+
+	height[s] = int32(n)
+	countAt[0] = int32(n - 1)
+	countAt[n] = 1
+
+	push := func(u int32, a *arc) {
+		v := a.to
+		d := excess[u]
+		if a.cap < d {
+			d = a.cap
+		}
+		a.cap -= d
+		nw.arcs[v][a.rev].cap += d
+		excess[u] -= d
+		excess[v] += d
+		if v != s && v != t && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+
+	// Saturate everything out of s.
+	for i := range nw.arcs[s] {
+		a := &nw.arcs[s][i]
+		if a.cap > Eps {
+			excess[s] += a.cap
+			push(s, a)
+		}
+	}
+
+	relabel := func(u int32) {
+		old := height[u]
+		min := int32(2 * n)
+		for i := range nw.arcs[u] {
+			a := &nw.arcs[u][i]
+			if a.cap > Eps && height[a.to]+1 < min {
+				min = height[a.to] + 1
+			}
+		}
+		countAt[old]--
+		// Gap heuristic: if u was the last vertex at its height, every
+		// vertex above the gap can never reach t again — lift them past n.
+		if countAt[old] == 0 && old < int32(n) {
+			for v := int32(0); int(v) < n; v++ {
+				if v != s && height[v] > old && height[v] <= int32(n) {
+					countAt[height[v]]--
+					height[v] = int32(n) + 1
+					countAt[height[v]]++
+				}
+			}
+		}
+		if min > int32(2*n) {
+			min = int32(2 * n)
+		}
+		height[u] = min
+		countAt[min]++
+	}
+
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inQueue[u] = false
+		// Discharge u.
+		for excess[u] > Eps {
+			pushed := false
+			for i := range nw.arcs[u] {
+				a := &nw.arcs[u][i]
+				if a.cap > Eps && height[u] == height[a.to]+1 {
+					push(u, a)
+					pushed = true
+					if excess[u] <= Eps {
+						break
+					}
+				}
+			}
+			if excess[u] <= Eps {
+				break
+			}
+			if !pushed {
+				if height[u] >= int32(2*n) {
+					break // unreachable excess flows back eventually
+				}
+				relabel(u)
+			}
+		}
+		if excess[u] > Eps && !inQueue[u] && height[u] < int32(2*n) {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+		// Bound the queue slice: compact once the head has consumed half.
+		if head > n && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head+1:]...)
+			head = -1
+		}
+	}
+	return excess[t]
+}

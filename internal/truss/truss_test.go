@@ -1,0 +1,235 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func randomGraph(seed int64, maxN, mult int) *graph.Undirected {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(maxN)
+	var edges []graph.Edge
+	for i := 0; i < rng.Intn(n*mult+1); i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.NewUndirected(n, edges)
+}
+
+// naiveTruss computes truss numbers by repeated whole-graph peeling: for
+// each k ascending, delete edges with support < k-2 until stable.
+func naiveTruss(g *graph.Undirected) map[int64]int32 {
+	type edge struct{ u, v int32 }
+	alive := map[edge]bool{}
+	for _, e := range g.Edges() {
+		alive[edge{e.U, e.V}] = true
+	}
+	sup := func(e edge) int32 {
+		var s int32
+		for _, w := range g.Neighbors(e.u) {
+			if w == e.v {
+				continue
+			}
+			uw := edge{min32(e.u, w), max32(e.u, w)}
+			vw := edge{min32(e.v, w), max32(e.v, w)}
+			if alive[uw] && alive[vw] && g.HasEdge(e.v, w) {
+				s++
+			}
+		}
+		return s
+	}
+	out := map[int64]int32{}
+	for k := int32(2); len(alive) > 0; k++ {
+		for {
+			var kill []edge
+			for e := range alive {
+				if sup(e) < k-1 { // survives the (k+1)-truss iff support >= k-1
+					kill = append(kill, e)
+				}
+			}
+			if len(kill) == 0 {
+				break
+			}
+			for _, e := range kill {
+				// e's truss number is k: it is in the k-truss (current
+				// graph) but not the (k+1)-truss.
+				out[key(e.u, e.v)] = k
+				delete(alive, e)
+			}
+		}
+	}
+	return out
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDecomposeAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 3)
+		dec := Decompose(g, 2)
+		want := naiveTruss(g)
+		for i, e := range dec.Edges {
+			if dec.Truss[i] != want[key(e.U, e.V)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeLocalMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 4)
+		a := Decompose(g, 2)
+		b, _ := DecomposeLocal(g, 4)
+		if a.KMax != b.KMax {
+			return false
+		}
+		for i := range a.Truss {
+			if a.Truss[i] != b.Truss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestK4Truss(t *testing.T) {
+	var edges []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	g := graph.NewUndirected(4, edges)
+	dec := Decompose(g, 2)
+	if dec.KMax != 4 {
+		t.Fatalf("K4 k_max = %d, want 4", dec.KMax)
+	}
+	for i, tr := range dec.Truss {
+		if tr != 4 {
+			t.Fatalf("K4 edge %d truss = %d", i, tr)
+		}
+	}
+}
+
+func TestTriangleFreeGraph(t *testing.T) {
+	// A path: no triangles, every edge truss 2.
+	g := graph.NewUndirected(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	dec := Decompose(g, 2)
+	if dec.KMax != 2 {
+		t.Fatalf("path k_max = %d", dec.KMax)
+	}
+	if _, iters := DecomposeLocal(g, 2); iters < 1 {
+		t.Fatal("local decomposition must run at least one sweep")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewUndirected(5, nil)
+	if dec := Decompose(g, 2); dec.KMax != 2 || len(dec.Edges) != 0 {
+		t.Fatalf("%+v", dec)
+	}
+	if dec, _ := DecomposeLocal(g, 2); dec.KMax != 2 {
+		t.Fatalf("%+v", dec)
+	}
+}
+
+func TestMaxTrussFindsPlantedClique(t *testing.T) {
+	base := gen.ErdosRenyi(500, 1500, 50)
+	g, planted := gen.PlantClique(base, 15, 51)
+	k, vs := MaxTruss(g, 2)
+	if k < 15 {
+		t.Fatalf("k_max = %d, want >= 15 (the 15-clique is a 15-truss)", k)
+	}
+	in := map[int32]bool{}
+	for _, v := range vs {
+		in[v] = true
+	}
+	for _, v := range planted {
+		if !in[v] {
+			t.Fatalf("planted vertex %d missing from max truss", v)
+		}
+	}
+}
+
+// TestTrussInsideCore checks the classical containment: every edge of the
+// k-truss has both endpoints in the (k-1)-core, i.e. truss(e) - 1 <=
+// min(core(u), core(v)) + ... precisely: if truss(e) = k then core(u),
+// core(v) >= k - 1.
+func TestTrussInsideCore(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 4)
+		dec := Decompose(g, 2)
+		cores := core.BZ(g)
+		for i, e := range dec.Edges {
+			k := dec.Truss[i]
+			if cores[e.U] < k-1 || cores[e.V] < k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensestTrussVsCoreOnNoisyClique(t *testing.T) {
+	// With noise attached to the clique, the max truss keeps the clique
+	// tight while the k*-core may absorb noisy attachments; the truss
+	// density must at least match the planted clique's floor.
+	base := gen.ChungLu(3000, 20000, 2.4, 52)
+	g, planted := gen.PlantClique(base, 40, 53)
+	vs, density, kmax := Densest(g, 2)
+	if kmax < 40 {
+		t.Fatalf("k_max = %d", kmax)
+	}
+	if density < float64(len(planted)-1)/2 {
+		t.Fatalf("truss density %v below the clique floor %v", density, float64(len(planted)-1)/2)
+	}
+	if len(vs) < len(planted) {
+		t.Fatalf("max truss has %d vertices, planted %d", len(vs), len(planted))
+	}
+}
+
+func TestHIndexHelper(t *testing.T) {
+	cases := []struct {
+		vals []int32
+		want int32
+	}{
+		{nil, 0},
+		{[]int32{0}, 0},
+		{[]int32{5}, 1},
+		{[]int32{1, 1, 1}, 1},
+		{[]int32{3, 2, 3}, 2},
+		{[]int32{5, 4, 3, 2, 1}, 3},
+	}
+	for _, c := range cases {
+		vals := append([]int32(nil), c.vals...)
+		if got := hIndex(vals); got != c.want {
+			t.Fatalf("hIndex(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package uds
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// DefaultPFWIterations is the Frank–Wolfe iteration budget used when the
+// caller passes iters <= 0. Danisch et al. need O(Δ/ε²)-ish iterations for
+// a certified (1+ε) bound; 100 sweeps reproduces the paper's setting (ε=1)
+// on the benchmark graphs while exposing PFW's characteristic ~two orders
+// of magnitude gap to PKMC (each sweep is a full O(m) pass).
+const DefaultPFWIterations = 100
+
+// PFW solves UDS with the parallel Frank–Wolfe convex-programming approach
+// of Danisch, Chan & Sozio: each edge holds a unit load split between its
+// endpoints (alpha[e] = share assigned to the smaller-id endpoint), r(v) is
+// the total load on v, and every iteration moves each edge's load toward
+// its currently lighter endpoint with the standard 2/(t+2) step size. The
+// dense subgraph is extracted by sweeping vertices in decreasing load order
+// and keeping the densest prefix ("fractional peeling").
+func PFW(g *graph.Undirected, iters, p int) Result {
+	n := g.N()
+	if n == 0 {
+		return Result{Algorithm: "PFW"}
+	}
+	if iters <= 0 {
+		iters = DefaultPFWIterations
+	}
+	edges := g.Edges()
+	m := len(edges)
+	alpha := make([]float64, m) // share of edge i on edges[i].U
+	r := make([]float64, n)
+	for i := range alpha {
+		alpha[i] = 0.5
+	}
+	recomputeLoads(edges, alpha, r, p)
+	for t := 0; t < iters; t++ {
+		gamma := 2.0 / float64(t+2)
+		parallel.For(m, p, func(i int) {
+			e := edges[i]
+			var target float64 // optimal share for U: all of it to the lighter endpoint
+			if r[e.U] < r[e.V] {
+				target = 1
+			} else if r[e.U] > r[e.V] {
+				target = 0
+			} else {
+				target = 0.5
+			}
+			alpha[i] = (1-gamma)*alpha[i] + gamma*target
+		})
+		recomputeLoads(edges, alpha, r, p)
+	}
+
+	// Fractional peeling: densest prefix of the decreasing-load order.
+	order := make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool { return r[order[i]] > r[order[j]] })
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	prefixEdges := make([]int64, n)
+	for _, e := range edges {
+		at := pos[e.U]
+		if pos[e.V] > at {
+			at = pos[e.V]
+		}
+		prefixEdges[at]++
+	}
+	bestDensity := -1.0
+	bestLen := 1
+	var cum int64
+	for i := 0; i < n; i++ {
+		cum += prefixEdges[i]
+		if d := float64(cum) / float64(i+1); d > bestDensity {
+			bestDensity = d
+			bestLen = i + 1
+		}
+	}
+	set := append([]int32(nil), order[:bestLen]...)
+	return Result{
+		Algorithm:  "PFW",
+		Vertices:   set,
+		Density:    g.InducedDensity(set),
+		Iterations: iters,
+	}
+}
+
+// recomputeLoads rebuilds r(v) = sum of edge shares in parallel. Loads are
+// accumulated per block into private partials indexed by vertex — a scatter
+// with atomics would be slower under the power-law hub contention.
+func recomputeLoads(edges []graph.Edge, alpha []float64, r []float64, p int) {
+	for v := range r {
+		r[v] = 0
+	}
+	// Contention-free strategy: partition edges among workers, each worker
+	// accumulates into a private vector, then vectors are reduced. For the
+	// graph sizes here the reduction is cheap relative to the edge sweep.
+	workers := parallel.Threads(p)
+	partials := make([][]float64, workers)
+	parallel.Workers(workers, func(w int) {
+		local := make([]float64, len(r))
+		lo := len(edges) * w / workers
+		hi := len(edges) * (w + 1) / workers
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			local[e.U] += alpha[i]
+			local[e.V] += 1 - alpha[i]
+		}
+		partials[w] = local
+	})
+	parallel.For(len(r), p, func(v int) {
+		var sum float64
+		for w := 0; w < workers; w++ {
+			sum += partials[w][v]
+		}
+		r[v] = sum
+	})
+}

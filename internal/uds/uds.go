@@ -1,0 +1,80 @@
+// Package uds solves the Undirected Densest Subgraph problem (the paper's
+// Problem 1): given G, find S maximizing ρ(G[S]) = |E(S)|/|S|. It provides
+// the exact Goldberg flow solver plus every approximation algorithm of the
+// paper's Exp-1 lineup — Charikar's serial peeling, PBU (Bahmani batch
+// peeling), PFW (Frank–Wolfe), and the three k*-core routes Local, PKC and
+// PKMC (the paper's contribution).
+package uds
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Result is a densest-subgraph answer: the vertex set found, its density,
+// and how much iterative work it took.
+type Result struct {
+	Algorithm  string
+	Vertices   []int32
+	Density    float64
+	Iterations int // solver-specific: sweeps, peel rounds, or FW steps; 0 when not meaningful
+	KStar      int32
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: |S|=%d density=%.4f iters=%d", r.Algorithm, len(r.Vertices), r.Density, r.Iterations)
+}
+
+// PKMC returns the k*-core computed by the paper's Algorithm 2 — a
+// 2-approximate densest subgraph (Lemma 1) — with p workers.
+func PKMC(g *graph.Undirected, p int) Result {
+	res := core.PKMC(g, p)
+	return Result{
+		Algorithm:  "PKMC",
+		Vertices:   res.Vertices,
+		Density:    g.InducedDensity(res.Vertices),
+		Iterations: res.Iterations,
+		KStar:      res.KStar,
+	}
+}
+
+// Local returns the k*-core via full h-index convergence (Algorithm 1), the
+// paper's "Local" baseline.
+func Local(g *graph.Undirected, p int) Result {
+	k, vs, iters := core.LocalKStarCore(g, p)
+	return Result{
+		Algorithm:  "Local",
+		Vertices:   vs,
+		Density:    g.InducedDensity(vs),
+		Iterations: iters,
+		KStar:      k,
+	}
+}
+
+// PKC returns the k*-core via parallel level peeling (Kabir–Madduri), the
+// paper's "PKC" baseline.
+func PKC(g *graph.Undirected, p int) Result {
+	k, vs, iters := core.PKCKStarCore(g, p)
+	return Result{
+		Algorithm:  "PKC",
+		Vertices:   vs,
+		Density:    g.InducedDensity(vs),
+		Iterations: iters,
+		KStar:      k,
+	}
+}
+
+// BZ returns the k*-core via the serial Batagelj–Zaveršnik decomposition —
+// not one of the paper's compared algorithms, but the natural single-thread
+// reference point.
+func BZ(g *graph.Undirected) Result {
+	k, vs := core.KStarCore(core.BZ(g))
+	return Result{
+		Algorithm: "BZ",
+		Vertices:  vs,
+		Density:   g.InducedDensity(vs),
+		KStar:     k,
+	}
+}

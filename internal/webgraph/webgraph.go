@@ -1,0 +1,228 @@
+// Package webgraph provides a compressed immutable undirected graph
+// representation in the spirit of the WebGraph framework — the system
+// behind the LAW datasets (it-2004, sk-2005, uk-union) the paper
+// evaluates on. Sorted neighbor lists are stored as varint-encoded gaps:
+// the first neighbor as a zigzag delta from the vertex id (web graphs
+// link locally, so this delta is small), subsequent neighbors as gap-1
+// varints. On the benchmark scale models this cuts adjacency memory by
+// ~2-3x versus CSR, which is exactly the lever that lets billion-edge
+// graphs fit one machine.
+//
+// The package also runs PKMC directly over the compressed form —
+// decoding is a sequential scan, which is all the h-index sweeps need —
+// so the space saving does not require giving up the paper's algorithm.
+package webgraph
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Graph is a compressed undirected graph. Immutable after construction.
+type Graph struct {
+	n    int
+	m    int64
+	offs []int64 // byte offsets into data, len n+1
+	degs []int32 // degrees, kept uncompressed for O(1) access
+	data []byte
+}
+
+// FromUndirected compresses a CSR graph.
+func FromUndirected(g *graph.Undirected) *Graph {
+	n := g.N()
+	c := &Graph{
+		n:    n,
+		m:    g.M(),
+		offs: make([]int64, n+1),
+		degs: make([]int32, n),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for v := 0; v < n; v++ {
+		c.offs[v] = int64(len(c.data))
+		neighbors := g.Neighbors(int32(v))
+		c.degs[v] = int32(len(neighbors))
+		prev := int64(-1)
+		for i, u := range neighbors {
+			var enc int64
+			if i == 0 {
+				// Zigzag delta from the vertex id itself.
+				enc = zigzag(int64(u) - int64(v))
+			} else {
+				enc = int64(u) - prev - 1 // gaps are >= 1 in a simple graph
+			}
+			k := binary.PutUvarint(buf[:], uint64(enc))
+			c.data = append(c.data, buf[:k]...)
+			prev = int64(u)
+		}
+	}
+	c.offs[n] = int64(len(c.data))
+	c.data = append([]byte(nil), c.data...) // trim capacity
+	return c
+}
+
+func zigzag(v int64) int64 {
+	return (v << 1) ^ (v >> 63)
+}
+
+func unzigzag(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// N returns the vertex count.
+func (c *Graph) N() int { return c.n }
+
+// M returns the edge count.
+func (c *Graph) M() int64 { return c.m }
+
+// Degree returns the degree of v.
+func (c *Graph) Degree(v int32) int32 { return c.degs[v] }
+
+// SizeBytes returns the memory the adjacency encoding occupies (the CSR
+// equivalent is 4 bytes x 2m plus offsets).
+func (c *Graph) SizeBytes() int64 {
+	return int64(len(c.data)) + int64(len(c.offs))*8 + int64(len(c.degs))*4
+}
+
+// CSRSizeBytes returns what the same adjacency costs uncompressed.
+func (c *Graph) CSRSizeBytes() int64 {
+	return 2*c.m*4 + int64(c.n+1)*8
+}
+
+// ForNeighbors streams v's neighbors in ascending order.
+func (c *Graph) ForNeighbors(v int32, fn func(u int32)) {
+	data := c.data[c.offs[v]:c.offs[v+1]]
+	d := int(c.degs[v])
+	var prev int64
+	pos := 0
+	for i := 0; i < d; i++ {
+		raw, k := binary.Uvarint(data[pos:])
+		pos += k
+		var u int64
+		if i == 0 {
+			u = int64(v) + unzigzag(raw)
+		} else {
+			u = prev + int64(raw) + 1
+		}
+		fn(int32(u))
+		prev = u
+	}
+}
+
+// Neighbors materializes v's neighbor list (allocates; prefer
+// ForNeighbors in hot loops).
+func (c *Graph) Neighbors(v int32) []int32 {
+	out := make([]int32, 0, c.degs[v])
+	c.ForNeighbors(v, func(u int32) { out = append(out, u) })
+	return out
+}
+
+// Decompress rebuilds the CSR graph.
+func (c *Graph) Decompress() *graph.Undirected {
+	var edges []graph.Edge
+	for v := int32(0); int(v) < c.n; v++ {
+		c.ForNeighbors(v, func(u int32) {
+			if v < u {
+				edges = append(edges, graph.Edge{U: v, V: u})
+			}
+		})
+	}
+	return graph.NewUndirected(c.n, edges)
+}
+
+// KStarCoreResult mirrors core.PKMCResult for the compressed runner.
+type KStarCoreResult struct {
+	KStar      int32
+	Vertices   []int32
+	Iterations int
+}
+
+// KStarCore runs the paper's PKMC (Algorithm 2 with the Theorem-1 early
+// stop) directly over the compressed adjacency with p workers. Results
+// are identical to core.PKMC on the decompressed graph; the sweeps decode
+// neighbor lists on the fly, trading ~2x decode cost for the 2-3x memory
+// saving that decides whether a graph fits at all.
+func (c *Graph) KStarCore(p int) KStarCoreResult {
+	n := c.n
+	cur := make([]int32, n)
+	next := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		cur[v] = c.degs[v]
+		if c.degs[v] > maxDeg {
+			maxDeg = c.degs[v]
+		}
+	}
+	var pool sync.Pool
+	pool.New = func() any {
+		b := make([]int32, int(maxDeg)+2)
+		return &b
+	}
+	sweep := func() bool {
+		changed := false
+		var mu sync.Mutex
+		parallel.ForBlocks(n, p, parallel.DefaultGrain, func(lo, hi int) {
+			bufp := pool.Get().(*[]int32)
+			localChanged := false
+			for v := lo; v < hi; v++ {
+				d := int(c.degs[v])
+				cnt := (*bufp)[:d+1]
+				for i := range cnt {
+					cnt[i] = 0
+				}
+				c.ForNeighbors(int32(v), func(u int32) {
+					x := cur[u]
+					if x > int32(d) {
+						x = int32(d)
+					}
+					cnt[x]++
+				})
+				var atLeast, nh int32
+				for k := int32(d); k >= 1; k-- {
+					atLeast += cnt[k]
+					if atLeast >= k {
+						nh = k
+						break
+					}
+				}
+				next[v] = nh
+				if nh != cur[v] {
+					localChanged = true
+				}
+			}
+			pool.Put(bufp)
+			if localChanged {
+				mu.Lock()
+				changed = true
+				mu.Unlock()
+			}
+		})
+		return changed
+	}
+
+	hmax, count := parallel.MaxIndexInt32(cur, p)
+	iters := 0
+	for {
+		changed := sweep()
+		iters++
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+		nhmax, ncount := parallel.MaxIndexInt32(cur, p)
+		if ncount > int64(nhmax) && nhmax == hmax && ncount == count {
+			break
+		}
+		hmax, count = nhmax, ncount
+	}
+	kstar, _ := parallel.MaxIndexInt32(cur, p)
+	var core []int32
+	for v := 0; v < n; v++ {
+		if cur[v] == kstar {
+			core = append(core, int32(v))
+		}
+	}
+	return KStarCoreResult{KStar: kstar, Vertices: core, Iterations: iters}
+}

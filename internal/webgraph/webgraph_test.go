@@ -1,0 +1,144 @@
+package webgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func randomGraph(seed int64, maxN, mult int) *graph.Undirected {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN)
+	var edges []graph.Edge
+	for i := 0; i < rng.Intn(n*mult+1); i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.NewUndirected(n, edges)
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 80, 5)
+		c := FromUndirected(g)
+		if c.N() != g.N() || c.M() != g.M() {
+			return false
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			if c.Degree(v) != g.Degree(v) {
+				return false
+			}
+			want := g.Neighbors(v)
+			got := c.Neighbors(v)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		back := c.Decompress()
+		return back.M() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionWins(t *testing.T) {
+	// A locality-heavy RMAT web model: gap encoding must beat CSR.
+	g := gen.RMATUndirected(13, 60000, 0.57, 0.19, 0.19, 3)
+	c := FromUndirected(g)
+	ratio := float64(c.CSRSizeBytes()) / float64(c.SizeBytes())
+	if ratio < 1.5 {
+		t.Fatalf("compression ratio %.2f, want >= 1.5 (compressed %d vs CSR %d bytes)",
+			ratio, c.SizeBytes(), c.CSRSizeBytes())
+	}
+}
+
+func TestKStarCoreMatchesUncompressed(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 80, 4)
+		c := FromUndirected(g)
+		got := c.KStarCore(2)
+		want := core.PKMC(g, 2)
+		if got.KStar != want.KStar || len(got.Vertices) != len(want.Vertices) {
+			return false
+		}
+		for i := range got.Vertices {
+			if got.Vertices[i] != want.Vertices[i] {
+				return false // both ascending by construction
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKStarCoreOnWebModel(t *testing.T) {
+	body := gen.ChungLu(4000, 40000, 2.1, 7)
+	g := gen.Composite(body, 70, 4, 40, 8)
+	c := FromUndirected(g)
+	got := c.KStarCore(2)
+	want := core.PKMC(g, 2)
+	if got.KStar != want.KStar {
+		t.Fatalf("compressed k* = %d, want %d", got.KStar, want.KStar)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("iterations %d != %d — the early stop must fire identically", got.Iterations, want.Iterations)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	c := FromUndirected(graph.NewUndirected(0, nil))
+	if c.N() != 0 || c.M() != 0 {
+		t.Fatal("empty graph")
+	}
+	res := c.KStarCore(2)
+	if res.KStar != 0 || len(res.Vertices) != 0 {
+		t.Fatalf("%+v", res)
+	}
+	c = FromUndirected(graph.NewUndirected(3, []graph.Edge{{U: 0, V: 2}}))
+	if got := c.Neighbors(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("neighbors = %v", got)
+	}
+	if got := c.Neighbors(1); len(got) != 0 {
+		t.Fatalf("isolated vertex has neighbors: %v", got)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	g := gen.ErdosRenyi(500, 3000, 9)
+	c := FromUndirected(g)
+	if c.SizeBytes() <= 0 || c.CSRSizeBytes() != 2*g.M()*4+int64(g.N()+1)*8 {
+		t.Fatalf("size accounting: %d / %d", c.SizeBytes(), c.CSRSizeBytes())
+	}
+}
+
+func TestBackwardFirstNeighbor(t *testing.T) {
+	// First neighbor smaller than the vertex id exercises the negative
+	// zigzag branch.
+	g := graph.NewUndirected(10, []graph.Edge{{U: 9, V: 0}, {U: 9, V: 1}})
+	c := FromUndirected(g)
+	got := c.Neighbors(9)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("neighbors(9) = %v", got)
+	}
+}
+
+func TestDegreeOrderedCompressionTighter(t *testing.T) {
+	g := gen.ChungLu(4000, 30000, 2.2, 11)
+	relabeled, _ := g.RelabelByDegree()
+	a := FromUndirected(g).SizeBytes()
+	b := FromUndirected(relabeled).SizeBytes()
+	if b > a {
+		t.Fatalf("degree ordering grew the encoding: %d -> %d bytes", a, b)
+	}
+}

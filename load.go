@@ -1,0 +1,115 @@
+package dsd
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadGraph opens a graph file and sniffs its format: gzip-compressed
+// content is decompressed transparently, the compact binary format is
+// detected by its magic, and anything else is parsed as a text edge list.
+// This is the one-call loader the CLI tools and most applications want —
+// KONECT dumps typically arrive gzipped.
+func LoadGraph(path string) (*Graph, error) {
+	r, closer, err := openSniffed(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	if isBinary(r) {
+		return ReadGraphBinary(r)
+	}
+	return ReadGraph(r)
+}
+
+// LoadDigraph is LoadGraph for directed graphs (each text line "u v" is
+// the arc u -> v).
+func LoadDigraph(path string) (*Digraph, error) {
+	r, closer, err := openSniffed(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	if isBinary(r) {
+		return ReadDigraphBinary(r)
+	}
+	return ReadDigraph(r)
+}
+
+// openSniffed opens the file and unwraps one layer of gzip if the magic
+// matches. The returned reader supports Peek (bufio) for format sniffing.
+func openSniffed(path string) (*bufio.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dsd: opening gzip stream of %s: %w", path, err)
+		}
+		return bufio.NewReader(gz), func() error {
+			gz.Close()
+			return f.Close()
+		}, nil
+	}
+	return br, f.Close, nil
+}
+
+// isBinary peeks for the binary-format magic without consuming it.
+func isBinary(r *bufio.Reader) bool {
+	magic, err := r.Peek(4)
+	return err == nil && string(magic) == "DSDG"
+}
+
+// SaveGraph writes g to path; a ".gz" suffix selects gzip compression and
+// a ".dsdg" suffix (before any ".gz") selects the binary format, otherwise
+// the text edge list is written.
+func SaveGraph(g *Graph, path string) error {
+	return save(path, g.WriteEdgeList, g.WriteBinary)
+}
+
+// SaveDigraph writes d to path with the same suffix conventions as
+// SaveGraph.
+func SaveDigraph(d *Digraph, path string) error {
+	return save(path, d.WriteEdgeList, d.WriteBinary)
+}
+
+func save(path string, text, binary func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	name := path
+	if hasSuffix(name, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+		name = name[:len(name)-3]
+	}
+	write := text
+	if hasSuffix(name, ".dsdg") {
+		write = binary
+	}
+	if err := write(w); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

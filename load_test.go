@@ -1,0 +1,65 @@
+package dsd_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestLoadSaveRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	g := dsd.GenerateErdosRenyi(200, 800, 44)
+	for _, name := range []string{"g.txt", "g.dsdg", "g.txt.gz", "g.dsdg.gz"} {
+		path := filepath.Join(dir, name)
+		if err := dsd.SaveGraph(g, path); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := dsd.LoadGraph(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if got.M() != g.M() {
+			t.Fatalf("%s: m = %d, want %d", name, got.M(), g.M())
+		}
+	}
+}
+
+func TestLoadSaveDigraph(t *testing.T) {
+	dir := t.TempDir()
+	d := dsd.GenerateChungLuDirected(150, 700, 2.5, 2.5, 45)
+	for _, name := range []string{"d.txt", "d.dsdg", "d.txt.gz", "d.dsdg.gz"} {
+		path := filepath.Join(dir, name)
+		if err := dsd.SaveDigraph(d, path); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := dsd.LoadDigraph(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if got.M() != d.M() {
+			t.Fatalf("%s: m = %d, want %d", name, got.M(), d.M())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := dsd.LoadGraph("/does/not/exist"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := dsd.LoadDigraph("/does/not/exist"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsWrongBinaryKind(t *testing.T) {
+	dir := t.TempDir()
+	g := dsd.GenerateErdosRenyi(50, 100, 46)
+	path := filepath.Join(dir, "g.dsdg")
+	if err := dsd.SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsd.LoadDigraph(path); err == nil {
+		t.Fatal("undirected binary accepted as digraph")
+	}
+}

@@ -1,0 +1,301 @@
+package dsd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/kclique"
+	"repro/internal/truss"
+	"repro/internal/uds"
+)
+
+// Algo names a densest-subgraph algorithm. The UDS and DDS families are
+// disjoint; SolveUDS and SolveDDS reject algorithms from the wrong family.
+type Algo string
+
+// UDS algorithms (the paper's Exp-1 lineup plus the exact solver).
+const (
+	AlgoPKMC     Algo = "pkmc"     // parallel k*-core with Theorem-1 early stop (the paper's Algorithm 2) — default
+	AlgoLocal    Algo = "local"    // full h-index convergence (Sariyüce et al.)
+	AlgoPKC      Algo = "pkc"      // parallel level peeling (Kabir–Madduri)
+	AlgoBZ       Algo = "bz"       // serial Batagelj–Zaveršnik k*-core
+	AlgoCharikar Algo = "charikar" // serial greedy peeling, 2-approx
+	AlgoPBU      Algo = "pbu"      // Bahmani batch peeling, 2(1+ε)-approx
+	AlgoPFW      Algo = "pfw"      // Frank–Wolfe, (1+ε)-approx
+	AlgoExact    Algo = "exact"    // flow-based exact (small graphs)
+	// AlgoGreedyPP is the iterated peeling of Boob et al. ("Flowless",
+	// the remaining 2-approximation row of the paper's Table 1): never
+	// worse than Charikar, near-exact after a few dozen rounds
+	// (Options.Iterations; default 16).
+	AlgoGreedyPP Algo = "greedypp"
+	// AlgoExactPruned is the core-accelerated exact solver of Fang et al.
+	// (the paper's [6]): prune to the ⌈ρ̃⌉-core using the PKMC lower bound,
+	// then run the flow search on the remnant — exact answers on graphs far
+	// beyond AlgoExact's reach.
+	AlgoExactPruned Algo = "exact-pruned"
+	// AlgoExactEps is the (1+ε)-approximate flow solver (ε from
+	// Options.Epsilon, default 0.1): O(log 1/ε) min-cuts seeded by the
+	// PKMC lower bound.
+	AlgoExactEps Algo = "exact-eps"
+)
+
+// DDS algorithms (the paper's Exp-5 lineup plus the exact solver).
+const (
+	AlgoPWC      Algo = "pwc"   // w*-induced subgraph route (the paper's Algorithms 3-4) — default
+	AlgoPXY      Algo = "pxy"   // [x, y]-core enumeration (Ma et al. Core-Approx)
+	AlgoPBS      Algo = "pbs"   // Charikar directed ratio sweep, O(n²) ratios
+	AlgoPFKS     Algo = "pfks"  // fixed Khuller–Saha, n ratios
+	AlgoPBD      Algo = "pbd"   // Bahmani directed batch peeling, 2δ(1+ε)-approx
+	AlgoPFWD     Algo = "pfw"   // directed Frank–Wolfe (same name; family decides)
+	AlgoExactDDS Algo = "exact" // flow-based exact (small graphs)
+	AlgoBrute    Algo = "brute" // subset enumeration (≤13 vertices)
+	// AlgoExactPrunedDDS prunes to the ⌈ρ̃²/4⌉-induced subgraph using the
+	// PWC lower bound before the ratio-enumeration flow search — exact DDS
+	// answers on graphs far beyond AlgoExactDDS's reach.
+	AlgoExactPrunedDDS Algo = "exact-pruned"
+)
+
+// Options tunes a solver run. The zero value requests the paper's default
+// configuration.
+type Options struct {
+	// Workers is the parallelism degree p; 0 means GOMAXPROCS. Serial
+	// algorithms (charikar, bz, exact, brute) ignore it.
+	Workers int
+	// Epsilon is the accuracy knob of PBU (default 0.5), PBD (default 1.0)
+	// — the paper's settings.
+	Epsilon float64
+	// Delta is PBD's ratio-grid base (default 2.0).
+	Delta float64
+	// Iterations bounds Frank–Wolfe sweeps (default 100).
+	Iterations int
+	// Budget caps wall time for the slow baselines (PBS, PFKS, PBD, PFW);
+	// 0 means unlimited. Mirrors the paper's 10⁵-second cap.
+	Budget time.Duration
+}
+
+// Result is a solved UDS instance.
+type Result struct {
+	Algorithm  string
+	Vertices   []int32 // the returned vertex set S
+	Density    float64 // |E(S)|/|S|
+	KStar      int32   // k* when the algorithm is core-based, else 0
+	Iterations int
+}
+
+// DirectedResult is a solved DDS instance.
+type DirectedResult struct {
+	Algorithm  string
+	S, T       []int32 // the returned source and target sets
+	Density    float64 // |E(S,T)|/sqrt(|S|·|T|)
+	XStar      int32   // cn-pair when the algorithm is core-based
+	YStar      int32
+	Iterations int
+	TimedOut   bool // a budgeted baseline hit Options.Budget
+}
+
+// UDSAlgorithms lists the valid SolveUDS algorithm names.
+func UDSAlgorithms() []Algo {
+	return []Algo{AlgoPKMC, AlgoLocal, AlgoPKC, AlgoBZ, AlgoCharikar, AlgoGreedyPP, AlgoPBU, AlgoPFW, AlgoExact, AlgoExactPruned, AlgoExactEps}
+}
+
+// DDSAlgorithms lists the valid SolveDDS algorithm names.
+func DDSAlgorithms() []Algo {
+	return []Algo{AlgoPWC, AlgoPXY, AlgoPBS, AlgoPFKS, AlgoPBD, AlgoPFWD, AlgoExactDDS, AlgoExactPrunedDDS, AlgoBrute}
+}
+
+// SolveUDS runs the chosen undirected densest-subgraph algorithm. An empty
+// algo selects PKMC, the paper's contribution.
+func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
+	if algo == "" {
+		algo = AlgoPKMC
+	}
+	p := opts.Workers
+	var r uds.Result
+	switch algo {
+	case AlgoPKMC:
+		r = uds.PKMC(g.g, p)
+	case AlgoLocal:
+		r = uds.Local(g.g, p)
+	case AlgoPKC:
+		r = uds.PKC(g.g, p)
+	case AlgoBZ:
+		r = uds.BZ(g.g)
+	case AlgoCharikar:
+		r = uds.Charikar(g.g)
+	case AlgoGreedyPP:
+		r = uds.GreedyPP(g.g, opts.Iterations)
+	case AlgoPBU:
+		r = uds.PBU(g.g, opts.Epsilon, p)
+	case AlgoPFW:
+		r = uds.PFW(g.g, opts.Iterations, p)
+	case AlgoExact:
+		r = uds.Exact(g.g)
+	case AlgoExactPruned:
+		r = uds.ExactPruned(g.g, p)
+	case AlgoExactEps:
+		r = uds.ExactEpsilon(g.g, opts.Epsilon, p)
+	default:
+		return Result{}, fmt.Errorf("dsd: unknown UDS algorithm %q (valid: %v)", algo, UDSAlgorithms())
+	}
+	return Result{
+		Algorithm:  r.Algorithm,
+		Vertices:   r.Vertices,
+		Density:    r.Density,
+		KStar:      r.KStar,
+		Iterations: r.Iterations,
+	}, nil
+}
+
+// SolveDDS runs the chosen directed densest-subgraph algorithm. An empty
+// algo selects PWC, the paper's contribution.
+func SolveDDS(d *Digraph, algo Algo, opts Options) (DirectedResult, error) {
+	if algo == "" {
+		algo = AlgoPWC
+	}
+	p := opts.Workers
+	var r dds.Result
+	switch algo {
+	case AlgoPWC:
+		r = dds.PWC(d.d, p)
+	case AlgoPXY:
+		r = dds.PXY(d.d, p)
+	case AlgoPBS:
+		r = dds.PBS(d.d, p, opts.Budget)
+	case AlgoPFKS:
+		r = dds.PFKS(d.d, p, opts.Budget)
+	case AlgoPBD:
+		r = dds.PBD(d.d, opts.Delta, opts.Epsilon, p, opts.Budget)
+	case AlgoPFWD:
+		r = dds.PFW(d.d, opts.Iterations, p, opts.Budget)
+	case AlgoExactDDS:
+		r = dds.Exact(d.d)
+	case AlgoExactPrunedDDS:
+		r = dds.ExactPruned(d.d, p)
+	case AlgoBrute:
+		r = dds.BruteForce(d.d)
+	default:
+		return DirectedResult{}, fmt.Errorf("dsd: unknown DDS algorithm %q (valid: %v)", algo, DDSAlgorithms())
+	}
+	return DirectedResult{
+		Algorithm:  r.Algorithm,
+		S:          r.S,
+		T:          r.T,
+		Density:    r.Density,
+		XStar:      r.XStar,
+		YStar:      r.YStar,
+		Iterations: r.Iterations,
+		TimedOut:   r.TimedOut,
+	}, nil
+}
+
+// CoreNumbers computes the core number of every vertex (parallel h-index
+// decomposition). workers <= 0 means GOMAXPROCS.
+func CoreNumbers(g *Graph, workers int) []int32 {
+	return core.Local(g.g, workers).CoreNum
+}
+
+// KCore returns the vertices of the k-core.
+func KCore(g *Graph, k int32, workers int) []int32 {
+	return core.KCore(CoreNumbers(g, workers), k)
+}
+
+// KStarCore returns k* and the k*-core vertex set using PKMC (the fast
+// route that avoids full decomposition).
+func KStarCore(g *Graph, workers int) (int32, []int32) {
+	res := core.PKMC(g.g, workers)
+	return res.KStar, res.Vertices
+}
+
+// XYCore returns the [x, y]-core of a digraph: the maximal (S, T) with all
+// S out-degrees >= x and all T in-degrees >= y within E(S, T).
+func XYCore(d *Digraph, x, y int32) (s, t []int32) {
+	return dds.XYCore(d.d, x, y)
+}
+
+// WStar returns the maximum induce-number w* of a digraph and the vertex
+// set of its w*-induced subgraph (Definitions 8-10 of the paper).
+func WStar(d *Digraph, workers int) (int64, []int32) {
+	res := dds.WStarSubgraph(d.d, workers)
+	out := append([]int32(nil), res.Original...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return res.WStar, out
+}
+
+// TrussNumbers computes the truss number of every edge (the k-truss
+// extension from the paper's future-work direction): the i-th returned
+// edge has truss number truss[i] >= 2. Uses the parallel h-index local
+// decomposition.
+func TrussNumbers(g *Graph, workers int) (edges []Edge, trussNum []int32) {
+	dec, _ := truss.DecomposeLocal(g.g, workers)
+	return dec.Edges, dec.Truss
+}
+
+// MaxTruss returns k_max and the vertex set of the maximum-k truss — a
+// tighter dense-subgraph certificate than the k*-core (every k-truss sits
+// inside the (k-1)-core).
+func MaxTruss(g *Graph, workers int) (int32, []int32) {
+	return truss.MaxTruss(g.g, workers)
+}
+
+// TrussDensest returns the maximum-k truss as a densest-subgraph
+// heuristic, with its density. Unlike PKMC's k*-core it carries no proven
+// approximation ratio — that relationship is precisely the open question
+// the paper's conclusion poses — but on triangle-rich nuclei it is often
+// the sharper answer; see the extension bench.
+func TrussDensest(g *Graph, workers int) (vertices []int32, density float64, kmax int32) {
+	return truss.Densest(g.g, workers)
+}
+
+// TriangleCounts returns the number of triangles through every vertex
+// (parallel adjacency intersection).
+func TriangleCounts(g *Graph, workers int) []int64 {
+	return kclique.TriangleCounts(g.g, workers)
+}
+
+// TriangleDensest solves the k-clique-density variant for k = 3 (the
+// paper's second future-work model): it returns the subgraph found by the
+// triangle peel — a 3-approximation of the set maximizing
+// #triangles(S)/|S| — with both its triangle density and its ordinary edge
+// density for comparison with SolveUDS answers.
+func TriangleDensest(g *Graph, workers int) (vertices []int32, triangleDensity, edgeDensity float64) {
+	res := kclique.Densest(g.g, workers)
+	return res.Vertices, res.TriangleDensity, res.EdgeDensity
+}
+
+// InduceNumbers computes the induce-number of every arc of a digraph
+// (Definition 10 of the paper) via the full parallel w-induced
+// decomposition (Algorithm 3): arcs[i] has induce-number nums[i], and the
+// maximum over all arcs is w* = x*·y* (Theorem 2).
+func InduceNumbers(d *Digraph, workers int) (arcs []Edge, nums []int64) {
+	res := dds.WDecompose(d.d, workers)
+	return d.d.Arcs(), res.InduceNumber
+}
+
+// CNPairSkyline returns the maximal [x, y]-core pairs of a digraph (every
+// core is dominated by a skyline pair; the maximum x·y over the skyline is
+// w*, Theorem 2) — the complete directed core-structure summary.
+func CNPairSkyline(d *Digraph, workers int) [][2]int32 {
+	return dds.CNPairSkyline(d.d, workers)
+}
+
+// DensityTier is one layer of DensityFriendlyDecomposition.
+type DensityTier struct {
+	Vertices []int32
+	Density  float64
+}
+
+// DensityFriendlyDecomposition peels the exact densest subgraph, then the
+// densest subgraph of the remainder, and so on (Tatti & Gionis / Danisch
+// et al., the paper's related work [23], [34]) — a whole-graph profile of
+// dense regions with non-increasing tier densities. Exact per tier
+// (core-pruned flow), so intended for graphs up to ~10^5 edges.
+func DensityFriendlyDecomposition(g *Graph, workers int) []DensityTier {
+	var out []DensityTier
+	for _, t := range uds.DensityFriendly(g.g, workers) {
+		out = append(out, DensityTier{Vertices: t.Vertices, Density: t.Density})
+	}
+	return out
+}
