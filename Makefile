@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench repro figures datasets examples clean
+.PHONY: all build vet test race cover fuzz bench repro figures datasets examples serve clean
 
 all: build vet test
 
@@ -13,11 +13,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/server
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/dist
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/dist ./internal/server
 
 cover:
 	$(GO) test -cover ./...
@@ -53,6 +54,12 @@ examples:
 	$(GO) run ./examples/streaming
 	$(GO) run ./examples/cluster
 	$(GO) run ./examples/ecommerce
+	$(GO) run ./examples/serve
+
+# Run the query service with the PT scale model preloaded (make datasets
+# first); see the README's Serving section for the endpoints.
+serve:
+	$(GO) run ./cmd/dsdserver -addr :8080 -load pt=data/PT.txt
 
 clean:
 	rm -rf data test_output.txt bench_output.txt

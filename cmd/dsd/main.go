@@ -5,7 +5,11 @@
 //
 //	dsd -in graph.txt [-directed] [-algo pkmc|local|pkc|bz|charikar|greedypp|pbu|pfw|exact|exact-pruned]
 //	    [-algo pwc|pxy|pbs|pfks|pbd|brute]      (directed families)
-//	    [-p N] [-budget 30s] [-verbose]
+//	    [-p N] [-budget 30s] [-timeout 10s] [-verbose]
+//
+// -budget caps the slow baselines and keeps their best-so-far answer;
+// -timeout is a hard deadline — the run fails with a canceled error when
+// the solver cannot finish in time.
 //
 // The input format is sniffed: a whitespace edge list ("u v" per line,
 // '%'/'#' comments), the compact binary format written by dsdgen -binary,
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,7 +42,8 @@ func run(args []string, out io.Writer) error {
 		directed = fs.Bool("directed", false, "treat the input as a digraph and solve DDS")
 		algo     = fs.String("algo", "", "algorithm (default: pkmc undirected, pwc directed)")
 		workers  = fs.Int("p", 0, "worker threads (0 = GOMAXPROCS)")
-		budget   = fs.Duration("budget", 0, "time budget for slow baselines (0 = unlimited)")
+		budget   = fs.Duration("budget", 0, "time budget for slow baselines (0 = unlimited; best-so-far on expiry)")
+		timeout  = fs.Duration("timeout", 0, "hard deadline for the solve; exceeding it is an error (0 = none)")
 		verbose  = fs.Bool("verbose", false, "print the vertex sets, not just their sizes")
 		mode     = fs.String("mode", "solve", "solve | cores (core-number histogram) | skyline (directed cn-pairs) | tiers (density-friendly decomposition)")
 	)
@@ -49,6 +55,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := dsd.Options{Workers: *workers, Budget: *budget}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
 	if *mode != "solve" {
 		return analyze(*in, *mode, *directed, *workers, out)
 	}

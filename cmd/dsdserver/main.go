@@ -1,0 +1,161 @@
+// Command dsdserver runs the densest-subgraph query service: graphs are
+// loaded once (at startup via -load, or at runtime via POST /graphs), stay
+// resident in memory, and every solver of the library is reachable through
+// JSON endpoints with per-request deadlines, admission control, and an LRU
+// result cache.
+//
+// Usage:
+//
+//	dsdserver [-addr :8080] [-load name=path[,directed]]...
+//	          [-max-concurrent N] [-cache N]
+//	          [-default-timeout 0] [-max-timeout 0] [-drain 30s]
+//
+// Endpoints:
+//
+//	GET    /graphs            list resident graphs with stats
+//	POST   /graphs            load a graph {"name", "path"|"edges", "directed", "replace"}
+//	GET    /graphs/{name}     one graph's stats
+//	DELETE /graphs/{name}     drop a graph
+//	POST   /solve/uds         {"graph", "algo", "options"} -> densest subgraph
+//	POST   /solve/dds         {"graph", "algo", "options"} -> densest (S, T)
+//	GET    /debug/vars        expvar metrics (requests, latency, cache, active)
+//	GET    /healthz           liveness probe
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// loadSpec is one -load flag: name=path, with an optional ",directed".
+type loadSpec struct {
+	name, path string
+	directed   bool
+}
+
+// options is the parsed flag set.
+type options struct {
+	addr          string
+	loads         []loadSpec
+	maxConcurrent int
+	cacheSize     int
+	defaultTO     time.Duration
+	maxTO         time.Duration
+	drain         time.Duration
+}
+
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsdserver:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, log.New(os.Stderr, "dsdserver: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "dsdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func parseArgs(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("dsdserver", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.maxConcurrent, "max-concurrent", 0, "max simultaneous solves/loads (0 = GOMAXPROCS)")
+	fs.IntVar(&o.cacheSize, "cache", 0, "result cache entries (0 = 256)")
+	fs.DurationVar(&o.defaultTO, "default-timeout", 0, "deadline for requests without timeout_ms (0 = none)")
+	fs.DurationVar(&o.maxTO, "max-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain window")
+	fs.Func("load", "graph to preload, name=path[,directed] (repeatable)", func(v string) error {
+		spec, err := parseLoadSpec(v)
+		if err != nil {
+			return err
+		}
+		o.loads = append(o.loads, spec)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+func parseLoadSpec(v string) (loadSpec, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return loadSpec{}, fmt.Errorf("-load wants name=path[,directed], got %q", v)
+	}
+	spec := loadSpec{name: name, path: rest}
+	if path, mod, ok := strings.Cut(rest, ","); ok {
+		if mod != "directed" {
+			return loadSpec{}, fmt.Errorf("-load modifier must be \"directed\", got %q", mod)
+		}
+		spec.path = path
+		spec.directed = true
+	}
+	return spec, nil
+}
+
+func run(ctx context.Context, o *options, logger *log.Logger) error {
+	srv := server.New(server.Config{
+		MaxConcurrent:  o.maxConcurrent,
+		CacheSize:      o.cacheSize,
+		DefaultTimeout: o.defaultTO,
+		MaxTimeout:     o.maxTO,
+		PublishExpvar:  true,
+	})
+	for _, spec := range o.loads {
+		start := time.Now()
+		e, err := srv.Registry().LoadFile(spec.name, spec.path, spec.directed, false)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec.name, err)
+		}
+		logger.Printf("loaded %s: n=%d m=%d directed=%t (%v)",
+			e.Name, e.Stats.N, e.Stats.M, e.Directed, time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Printf("serving on %s (%d graphs resident)", ln.Addr(), srv.Registry().Len())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining in-flight requests (up to %v)", o.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseLoadSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want loadSpec
+		ok   bool
+	}{
+		{"pt=data/PT.txt", loadSpec{"pt", "data/PT.txt", false}, true},
+		{"tw=data/TW.txt,directed", loadSpec{"tw", "data/TW.txt", true}, true},
+		{"noequals", loadSpec{}, false},
+		{"=path", loadSpec{}, false},
+		{"name=", loadSpec{}, false},
+		{"g=p,sideways", loadSpec{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseLoadSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseLoadSpec(%q) err = %v, want ok=%t", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseLoadSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{"-addr", ":0", "-load", "a=x", "-load", "b=y,directed", "-max-concurrent", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":0" || len(o.loads) != 2 || o.maxConcurrent != 3 {
+		t.Fatalf("parsed = %+v", o)
+	}
+	if !o.loads[1].directed {
+		t.Fatal("second -load lost its directed modifier")
+	}
+	if _, err := parseArgs([]string{"stray"}); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if _, err := parseArgs([]string{"-load", "bad"}); err == nil {
+		t.Fatal("malformed -load accepted")
+	}
+}
+
+// syncBuffer lets the test read the server log while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunServesAndShutsDown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n0 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := &options{addr: "127.0.0.1:0", drain: 5 * time.Second,
+		loads: []loadSpec{{name: "tri", path: path}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	logs := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, log.New(logs, "", 0)) }()
+
+	// The log line carries the ephemeral address.
+	addrRE := regexp.MustCompile(`serving on ([0-9.:]+)`)
+	var addr string
+	for start := time.Now(); addr == ""; {
+		if m := addrRE.FindStringSubmatch(logs.String()); m != nil {
+			addr = m[1]
+		} else if time.Since(start) > 5*time.Second {
+			t.Fatalf("server never came up; log:\n%s", logs.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post("http://"+addr+"/solve/uds", "application/json",
+		bytes.NewReader([]byte(`{"graph":"tri","algo":"pkmc"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Density float64 `json:"density"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || body.Density != 1 {
+		t.Fatalf("solve on preloaded graph = %d density=%g, want 200 density=1", resp.StatusCode, body.Density)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after context cancel")
+	}
+}

@@ -168,6 +168,32 @@ func (d *Digraph) WriteEdgeList(w io.Writer) error { return d.d.WriteEdgeList(w)
 // WriteBinary writes the digraph in the compact binary format.
 func (d *Digraph) WriteBinary(w io.Writer) error { return d.d.WriteBinary(w) }
 
+// Stats is the paper-style summary of a graph (Tables 4 and 5): vertex and
+// arc/edge counts plus the maximum degrees — d_max for undirected graphs,
+// d⁺_max / d⁻_max for digraphs.
+type Stats struct {
+	Directed     bool
+	N            int
+	M            int64
+	MaxDegree    int32 // undirected only
+	MaxOutDegree int32 // directed only
+	MaxInDegree  int32 // directed only
+	AvgDegree    float64
+}
+
+// Stats summarizes the graph.
+func (g *Graph) Stats() Stats {
+	s := g.g.Summarize("")
+	return Stats{N: s.N, M: s.M, MaxDegree: s.MaxDeg, AvgDegree: s.AvgDeg}
+}
+
+// Stats summarizes the digraph.
+func (d *Digraph) Stats() Stats {
+	s := d.d.Summarize("")
+	return Stats{Directed: true, N: s.N, M: s.M, MaxOutDegree: s.MaxOutDeg,
+		MaxInDegree: s.MaxInDeg, AvgDegree: s.AvgDeg}
+}
+
 // RelabelByDegree returns a copy of the graph with vertices renumbered in
 // non-increasing degree order (hubs first) and the mapping back to the
 // original ids. The layout improves cache locality for the sweep-based

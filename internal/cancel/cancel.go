@@ -1,0 +1,34 @@
+// Package cancel carries the shared cooperative-cancellation protocol of
+// the context-aware solvers. The long-running algorithms (the exact flow
+// binary searches, Frank–Wolfe sweeps, Greedy++ rounds) poll Check at
+// natural iteration boundaries and unwind with a wrapped ErrCanceled once
+// the caller's context is done; the public API re-exports ErrCanceled so
+// callers can errors.Is against a single sentinel regardless of which
+// solver tripped.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel every context-aware solver wraps when it
+// abandons a run because its context was canceled or its deadline passed.
+// The wrapped chain retains the context's own error, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout from an
+// explicit cancel.
+var ErrCanceled = errors.New("solve canceled")
+
+// Check returns nil while ctx is live and a wrapped ErrCanceled once it is
+// done. A nil ctx never cancels, so context-free entry points can pass nil
+// instead of allocating a Background context.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}

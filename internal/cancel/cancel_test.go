@@ -1,0 +1,41 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckNilAndLive(t *testing.T) {
+	if err := Check(nil); err != nil {
+		t.Fatalf("Check(nil) = %v, want nil", err)
+	}
+	if err := Check(context.Background()); err != nil {
+		t.Fatalf("Check(live) = %v, want nil", err)
+	}
+}
+
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Check(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to also wrap context.Canceled", err)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Check(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to also wrap context.DeadlineExceeded", err)
+	}
+}

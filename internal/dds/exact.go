@@ -1,9 +1,11 @@
 package dds
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/maxflow"
 )
@@ -21,9 +23,18 @@ import (
 // hundred), matching its role in the paper (exact DDS solvers are
 // impractical at scale, which is why 2-approximations exist).
 func Exact(d *graph.Directed) Result {
+	r, _ := ExactCtx(nil, d)
+	return r
+}
+
+// ExactCtx is Exact under cooperative cancellation: ctx is polled between
+// candidate ratios, between the binary-search probes within a ratio, and
+// inside each min-cut, returning a wrapped cancel.ErrCanceled once it is
+// done. A nil ctx never cancels.
+func ExactCtx(ctx context.Context, d *graph.Directed) (Result, error) {
 	n := d.N()
 	if n == 0 || d.M() == 0 {
-		return Result{Algorithm: "Exact"}
+		return Result{Algorithm: "Exact"}, nil
 	}
 	arcs := d.Arcs()
 	ratios := map[float64]struct{}{}
@@ -34,7 +45,10 @@ func Exact(d *graph.Directed) Result {
 	}
 	best := Result{Algorithm: "Exact", Density: -1}
 	for c := range ratios {
-		s, t, density := exactForRatio(d, arcs, c)
+		s, t, density, err := exactForRatio(ctx, d, arcs, c)
+		if err != nil {
+			return Result{}, err
+		}
 		if density > best.Density {
 			best.S, best.T, best.Density = s, t, density
 		}
@@ -43,13 +57,13 @@ func Exact(d *graph.Directed) Result {
 		best.Density = 0
 	}
 	best.Iterations = len(ratios)
-	return best
+	return best, nil
 }
 
 // exactForRatio binary-searches the largest g for which some (S, T) with
 // the AM-GM-averaged denominator at ratio c has value above g, and returns
 // that pair. The returned density is the true ρ(S, T) of the pair.
-func exactForRatio(d *graph.Directed, arcs []graph.Edge, c float64) (s, t []int32, density float64) {
+func exactForRatio(ctx context.Context, d *graph.Directed, arcs []graph.Edge, c float64) (s, t []int32, density float64, err error) {
 	n := d.N()
 	m := len(arcs)
 	lo, hi := 0.0, math.Sqrt(float64(m))+1
@@ -59,7 +73,10 @@ func exactForRatio(d *graph.Directed, arcs []graph.Edge, c float64) (s, t []int3
 	var bestS, bestT []int32
 	for hi-lo >= gap {
 		g := (lo + hi) / 2
-		cs, ct := ratioDenserThan(d, arcs, c, g)
+		cs, ct, err := ratioDenserThan(ctx, d, arcs, c, g)
+		if err != nil {
+			return nil, nil, -1, err
+		}
 		if len(cs) == 0 || len(ct) == 0 {
 			hi = g
 		} else {
@@ -68,9 +85,9 @@ func exactForRatio(d *graph.Directed, arcs []graph.Edge, c float64) (s, t []int3
 		}
 	}
 	if bestS == nil {
-		return nil, nil, -1
+		return nil, nil, -1, nil
 	}
-	return bestS, bestT, d.DensityST(bestS, bestT)
+	return bestS, bestT, d.DensityST(bestS, bestT), nil
 }
 
 // ratioDenserThan builds the project-selection network for threshold g and
@@ -79,12 +96,16 @@ func exactForRatio(d *graph.Directed, arcs []graph.Edge, c float64) (s, t []int3
 //
 // Node layout: arc items 0..m-1, S-copies m..m+n-1, T-copies m+n..m+2n-1,
 // source m+2n, sink m+2n+1.
-func ratioDenserThan(d *graph.Directed, arcs []graph.Edge, c, g float64) (s, t []int32) {
+func ratioDenserThan(ctx context.Context, d *graph.Directed, arcs []graph.Edge, c, g float64) (s, t []int32, err error) {
+	if err := cancel.Check(ctx); err != nil {
+		return nil, nil, err
+	}
 	n := d.N()
 	m := len(arcs)
 	src := int32(m + 2*n)
 	snk := src + 1
 	nw := maxflow.NewNetwork(m + 2*n + 2)
+	nw.SetContext(ctx)
 	sCost := g / (2 * math.Sqrt(c))
 	tCost := g * math.Sqrt(c) / 2
 	inf := float64(m + 1)
@@ -98,6 +119,9 @@ func ratioDenserThan(d *graph.Directed, arcs []graph.Edge, c, g float64) (s, t [
 		nw.AddArc(int32(m+n+v), snk, tCost)
 	}
 	nw.Solve(src, snk)
+	if nw.Canceled() {
+		return nil, nil, cancel.Check(ctx)
+	}
 	for _, node := range nw.MinCutSource(src) {
 		switch {
 		case node == src || int(node) < m:
@@ -108,9 +132,9 @@ func ratioDenserThan(d *graph.Directed, arcs []graph.Edge, c, g float64) (s, t [
 		}
 	}
 	if len(s) == 0 || len(t) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return s, t
+	return s, t, nil
 }
 
 // BruteForce enumerates every (S, T) pair of non-empty vertex subsets with
@@ -184,16 +208,26 @@ func BruteForce(d *graph.Directed) Result {
 // ratio-enumeration flow search runs on the remnant, putting exact answers
 // within reach on graphs far beyond Exact's.
 func ExactPruned(d *graph.Directed, p int) Result {
+	r, _ := ExactPrunedCtx(nil, d, p)
+	return r
+}
+
+// ExactPrunedCtx is ExactPruned with the same cancellation contract as
+// ExactCtx.
+func ExactPrunedCtx(ctx context.Context, d *graph.Directed, p int) (Result, error) {
 	if d.M() == 0 {
-		res := Exact(d)
+		res, err := ExactCtx(ctx, d)
 		res.Algorithm = "ExactPruned"
-		return res
+		return res, err
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return Result{}, err
 	}
 	approx := PWC(d, p)
 	if approx.Density <= 0 {
-		res := Exact(d)
+		res, err := ExactCtx(ctx, d)
 		res.Algorithm = "ExactPruned"
-		return res
+		return res, err
 	}
 	w0 := int64(approx.Density * approx.Density / 4)
 	if w0 < 1 {
@@ -203,7 +237,10 @@ func ExactPruned(d *graph.Directed, p int) Result {
 	st.peelLevel(w0-1, nil, p)
 	st.refreshActive(p)
 	sub, orig := induceFromArcs(d, st.snapshotArcs())
-	res := Exact(sub)
+	res, err := ExactCtx(ctx, sub)
+	if err != nil {
+		return Result{}, err
+	}
 	s := mapBack(res.S, orig)
 	t := mapBack(res.T, orig)
 	density := d.DensityST(s, t)
@@ -220,5 +257,5 @@ func ExactPruned(d *graph.Directed, p int) Result {
 		T:          t,
 		Density:    density,
 		Iterations: res.Iterations,
-	}
+	}, nil
 }

@@ -1,11 +1,13 @@
 package dds
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -19,9 +21,18 @@ import (
 // cost of a 2δ(1+ε) approximation guarantee (=8 with the paper's δ=2,
 // ε=1). Parallelism is one ratio per claimed task.
 func PBD(d *graph.Directed, delta, eps float64, p int, budget time.Duration) Result {
+	r, _ := PBDCtx(nil, d, delta, eps, p, budget)
+	return r
+}
+
+// PBDCtx is PBD under cooperative cancellation: the sweep workers poll ctx
+// between claimed ratios. A budget expiry keeps the best-so-far answer
+// (TimedOut set); a ctx expiry abandons the run with a wrapped
+// cancel.ErrCanceled. A nil ctx never cancels.
+func PBDCtx(ctx context.Context, d *graph.Directed, delta, eps float64, p int, budget time.Duration) (Result, error) {
 	n := d.N()
 	if n == 0 || d.M() == 0 {
-		return Result{Algorithm: "PBD"}
+		return Result{Algorithm: "PBD"}, nil
 	}
 	if delta <= 1 {
 		delta = 2
@@ -42,11 +53,16 @@ func PBD(d *graph.Directed, delta, eps float64, p int, budget time.Duration) Res
 	best := peelOutcome{density: -1}
 	var rounds atomic.Int64
 	var timedOut atomic.Bool
+	var canceled atomic.Bool
 	var next atomic.Int64
 	parallel.Workers(p, func(int) {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(ratios) {
+				return
+			}
+			if cancel.Check(ctx) != nil {
+				canceled.Store(true)
 				return
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
@@ -62,6 +78,9 @@ func PBD(d *graph.Directed, delta, eps float64, p int, budget time.Duration) Res
 			mu.Unlock()
 		}
 	})
+	if canceled.Load() {
+		return Result{}, cancel.Check(ctx)
+	}
 	return Result{
 		Algorithm:  "PBD",
 		S:          best.s,
@@ -69,7 +88,7 @@ func PBD(d *graph.Directed, delta, eps float64, p int, budget time.Duration) Res
 		Density:    best.density,
 		Iterations: int(rounds.Load()),
 		TimedOut:   timedOut.Load(),
-	}
+	}, nil
 }
 
 // batchPeel runs Bahmani-style synchronous rounds for one target ratio c.

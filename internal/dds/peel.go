@@ -1,12 +1,14 @@
 package dds
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -114,7 +116,7 @@ func ratioPeel(d *graph.Directed, c float64) peelOutcome {
 // ratioSweepLazy runs ratioPeel over the a/b candidate grid (a, b in
 // [1, n]), claiming pairs lazily from an atomic counter. Duplicate ratios
 // (2/4 after 1/2) are re-peeled — the naive baseline's honest cost profile.
-func ratioSweepLazy(d *graph.Directed, n, p int, budget time.Duration) (peelOutcome, int, bool) {
+func ratioSweepLazy(ctx context.Context, d *graph.Directed, n, p int, budget time.Duration) (peelOutcome, int, bool, error) {
 	deadline := time.Time{}
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
@@ -124,11 +126,16 @@ func ratioSweepLazy(d *graph.Directed, n, p int, budget time.Duration) (peelOutc
 	best := peelOutcome{density: -1}
 	var done atomic.Int64
 	var timedOut atomic.Bool
+	var canceled atomic.Bool
 	var next atomic.Int64
 	parallel.Workers(p, func(int) {
 		for {
 			i := next.Add(1) - 1
 			if i >= total {
+				return
+			}
+			if cancel.Check(ctx) != nil {
+				canceled.Store(true)
 				return
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
@@ -146,13 +153,16 @@ func ratioSweepLazy(d *graph.Directed, n, p int, budget time.Duration) (peelOutc
 			mu.Unlock()
 		}
 	})
-	return best, int(done.Load()), timedOut.Load()
+	if canceled.Load() {
+		return peelOutcome{}, 0, false, cancel.Check(ctx)
+	}
+	return best, int(done.Load()), timedOut.Load(), nil
 }
 
 // ratioSweep runs ratioPeel for every candidate ratio in parallel with a
 // deadline; returns the best outcome, how many ratios were completed, and
 // whether the deadline cut the sweep short.
-func ratioSweep(d *graph.Directed, ratios []float64, p int, budget time.Duration) (peelOutcome, int, bool) {
+func ratioSweep(ctx context.Context, d *graph.Directed, ratios []float64, p int, budget time.Duration) (peelOutcome, int, bool, error) {
 	deadline := time.Time{}
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
@@ -161,11 +171,16 @@ func ratioSweep(d *graph.Directed, ratios []float64, p int, budget time.Duration
 	best := peelOutcome{density: -1}
 	var done atomic.Int64
 	var timedOut atomic.Bool
+	var canceled atomic.Bool
 	var next atomic.Int64
 	parallel.Workers(p, func(int) {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(ratios) {
+				return
+			}
+			if cancel.Check(ctx) != nil {
+				canceled.Store(true)
 				return
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
@@ -181,7 +196,10 @@ func ratioSweep(d *graph.Directed, ratios []float64, p int, budget time.Duration
 			mu.Unlock()
 		}
 	})
-	return best, int(done.Load()), timedOut.Load()
+	if canceled.Load() {
+		return peelOutcome{}, 0, false, cancel.Check(ctx)
+	}
+	return best, int(done.Load()), timedOut.Load(), nil
 }
 
 // PBS is the parallelized Charikar 2-approximation: the full O(n²) ratio
@@ -191,11 +209,23 @@ func ratioSweep(d *graph.Directed, ratios []float64, p int, budget time.Duration
 // (the paper uses 10⁵ seconds); a Result with TimedOut set reports how far
 // the sweep got.
 func PBS(d *graph.Directed, p int, budget time.Duration) Result {
+	r, _ := PBSCtx(nil, d, p, budget)
+	return r
+}
+
+// PBSCtx is PBS under cooperative cancellation: the sweep workers poll ctx
+// between claimed ratios. A budget expiry keeps the best-so-far answer
+// (TimedOut set); a ctx expiry abandons the run with a wrapped
+// cancel.ErrCanceled. A nil ctx never cancels.
+func PBSCtx(ctx context.Context, d *graph.Directed, p int, budget time.Duration) (Result, error) {
 	n := d.N()
 	if n == 0 || d.M() == 0 {
-		return Result{Algorithm: "PBS"}
+		return Result{Algorithm: "PBS"}, nil
 	}
-	best, doneCount, timedOut := ratioSweepLazy(d, n, p, budget)
+	best, doneCount, timedOut, err := ratioSweepLazy(ctx, d, n, p, budget)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Algorithm:  "PBS",
 		S:          best.s,
@@ -203,7 +233,7 @@ func PBS(d *graph.Directed, p int, budget time.Duration) Result {
 		Density:    best.density,
 		Iterations: doneCount,
 		TimedOut:   timedOut,
-	}
+	}, nil
 }
 
 // PFKS is the fixed Khuller–Saha linear-per-pass baseline: n geometrically
@@ -211,12 +241,21 @@ func PBS(d *graph.Directed, p int, budget time.Duration) Result {
 // approximation ratio exceeds 2), peeled in parallel under the same budget
 // regime as PBS.
 func PFKS(d *graph.Directed, p int, budget time.Duration) Result {
+	r, _ := PFKSCtx(nil, d, p, budget)
+	return r
+}
+
+// PFKSCtx is PFKS with the same cancellation contract as PBSCtx.
+func PFKSCtx(ctx context.Context, d *graph.Directed, p int, budget time.Duration) (Result, error) {
 	n := d.N()
 	if n == 0 || d.M() == 0 {
-		return Result{Algorithm: "PFKS"}
+		return Result{Algorithm: "PFKS"}, nil
 	}
 	ratios := geometricRatios(n, n)
-	best, doneCount, timedOut := ratioSweep(d, ratios, p, budget)
+	best, doneCount, timedOut, err := ratioSweep(ctx, d, ratios, p, budget)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Algorithm:  "PFKS",
 		S:          best.s,
@@ -224,7 +263,7 @@ func PFKS(d *graph.Directed, p int, budget time.Duration) Result {
 		Density:    best.density,
 		Iterations: doneCount,
 		TimedOut:   timedOut,
-	}
+	}, nil
 }
 
 // geometricRatios returns k ratios geometrically spanning [1/n, n].

@@ -1,9 +1,11 @@
 package dds
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -27,10 +29,19 @@ const DefaultPFWIterations = 100
 // algorithm; this shared-memory reformulation keeps the same convex
 // objective, per-iteration cost, and qualitative convergence behaviour.)
 func PFW(d *graph.Directed, iters, p int, budget time.Duration) Result {
+	r, _ := PFWCtx(nil, d, iters, p, budget)
+	return r
+}
+
+// PFWCtx is PFW under cooperative cancellation: ctx is polled once per
+// Frank–Wolfe sweep alongside the budget deadline. A budget expiry keeps
+// the best-so-far answer (TimedOut set); a ctx expiry abandons the run with
+// a wrapped cancel.ErrCanceled. A nil ctx never cancels.
+func PFWCtx(ctx context.Context, d *graph.Directed, iters, p int, budget time.Duration) (Result, error) {
 	n := d.N()
 	m := int(d.M())
 	if n == 0 || m == 0 {
-		return Result{Algorithm: "PFW"}
+		return Result{Algorithm: "PFW"}, nil
 	}
 	if iters <= 0 {
 		iters = DefaultPFWIterations
@@ -75,6 +86,9 @@ func PFW(d *graph.Directed, iters, p int, budget time.Duration) Result {
 	done := 0
 	timedOut := false
 	for t := 0; t < iters; t++ {
+		if err := cancel.Check(ctx); err != nil {
+			return Result{}, err
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			timedOut = true
 			break
@@ -105,7 +119,7 @@ func PFW(d *graph.Directed, iters, p int, budget time.Duration) Result {
 		Density:    density,
 		Iterations: done,
 		TimedOut:   timedOut,
-	}
+	}, nil
 }
 
 // thresholdExtract sweeps the distinct load values downward, adding each

@@ -6,7 +6,10 @@
 // min-cut computation.
 package maxflow
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Eps is the tolerance under which residual capacities are treated as zero.
 // The densest-subgraph binary searches have candidate densities that are
@@ -29,6 +32,9 @@ type Network struct {
 	level []int32
 	iter  []int32
 	queue []int32
+	// Cooperative cancellation (SetContext); polled between phases.
+	ctx      context.Context
+	canceled bool
 }
 
 // NewNetwork returns an empty network with n nodes.
@@ -47,6 +53,22 @@ func (nw *Network) AddArc(u, v int32, capacity float64) {
 	}
 	nw.arcs[u] = append(nw.arcs[u], arc{to: v, rev: int32(len(nw.arcs[v])), cap: capacity})
 	nw.arcs[v] = append(nw.arcs[v], arc{to: u, rev: int32(len(nw.arcs[u]) - 1), cap: 0})
+}
+
+// SetContext installs a context polled between blocking-flow phases (each
+// one O(m) work): once ctx is done, Solve stops early and Canceled reports
+// true. The residual network of an aborted Solve is meaningless — callers
+// must discard MinCutSource output when Canceled returns true. A nil ctx
+// (the default) never cancels.
+func (nw *Network) SetContext(ctx context.Context) { nw.ctx = ctx }
+
+// Canceled reports whether the last Solve was cut short by the context
+// installed with SetContext.
+func (nw *Network) Canceled() bool { return nw.canceled }
+
+// expired polls the installed context.
+func (nw *Network) expired() bool {
+	return nw.ctx != nil && nw.ctx.Err() != nil
 }
 
 // bfs builds the level graph; returns false if t is unreachable.
@@ -98,6 +120,10 @@ func (nw *Network) Solve(s, t int32) float64 {
 	nw.queue = make([]int32, 0, n)
 	var flow float64
 	for nw.bfs(s, t) {
+		if nw.expired() {
+			nw.canceled = true
+			return flow
+		}
 		for i := range nw.iter {
 			nw.iter[i] = 0
 		}

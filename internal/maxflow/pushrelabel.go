@@ -77,6 +77,11 @@ func (nw *Network) SolvePushRelabel(s, t int32) float64 {
 	}
 
 	for head := 0; head < len(queue); head++ {
+		// Same cancellation contract as Solve, polled every n discharges.
+		if head%n == 0 && nw.expired() {
+			nw.canceled = true
+			return excess[t]
+		}
 		u := queue[head]
 		inQueue[u] = false
 		// Discharge u.

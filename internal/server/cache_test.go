@@ -1,0 +1,60 @@
+package server
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, nil, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	// Touch a so b is the eviction victim.
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %t", v, ok)
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction past capacity")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2, nil, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: a becomes MRU
+	c.Put("c", 3)  // evicts b
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("Get(a) = %v, %t; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; refresh of a must not insert a duplicate")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(4, nil, nil)
+	c.Get("missing")
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("k")
+	if h, m := c.Hits(), c.Misses(); h != 2 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", h, m)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0, nil, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (capacity clamps to 1)", c.Len())
+	}
+}

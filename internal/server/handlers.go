@@ -1,0 +1,384 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// GraphInfo is the wire shape of one registry entry (GET /graphs).
+type GraphInfo struct {
+	Name         string    `json:"name"`
+	Directed     bool      `json:"directed"`
+	Version      int64     `json:"version"`
+	N            int       `json:"n"`
+	M            int64     `json:"m"`
+	MaxDegree    int32     `json:"max_degree,omitempty"`
+	MaxOutDegree int32     `json:"max_out_degree,omitempty"`
+	MaxInDegree  int32     `json:"max_in_degree,omitempty"`
+	AvgDegree    float64   `json:"avg_degree"`
+	Source       string    `json:"source,omitempty"`
+	LoadedAt     time.Time `json:"loaded_at"`
+}
+
+func infoOf(e *GraphEntry) GraphInfo {
+	return GraphInfo{
+		Name:         e.Name,
+		Directed:     e.Directed,
+		Version:      e.Version,
+		N:            e.Stats.N,
+		M:            e.Stats.M,
+		MaxDegree:    e.Stats.MaxDegree,
+		MaxOutDegree: e.Stats.MaxOutDegree,
+		MaxInDegree:  e.Stats.MaxInDegree,
+		AvgDegree:    e.Stats.AvgDegree,
+		Source:       e.Source,
+		LoadedAt:     e.LoadedAt,
+	}
+}
+
+// LoadRequest is the POST /graphs body. Exactly one of Path (a server-side
+// file, sniffed like the CLIs: text or compact binary, either gzipped) and
+// Edges (an inline text edge list) must be set.
+type LoadRequest struct {
+	Name     string `json:"name"`
+	Directed bool   `json:"directed"`
+	Path     string `json:"path,omitempty"`
+	Edges    string `json:"edges,omitempty"`
+	// Replace swaps an existing name under a bumped version instead of
+	// failing with graph_exists.
+	Replace bool `json:"replace,omitempty"`
+}
+
+// SolveRequest is the POST /solve/{uds,dds} body.
+type SolveRequest struct {
+	Graph   string       `json:"graph"`
+	Algo    string       `json:"algo,omitempty"` // empty = the family default (pkmc / pwc)
+	Options SolveOptions `json:"options,omitempty"`
+}
+
+// SolveOptions mirrors dsd.Options on the wire, plus the per-request
+// deadline and response shaping.
+type SolveOptions struct {
+	Workers    int     `json:"workers,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	// BudgetMs caps the slow baselines, keeping their best-so-far answer.
+	BudgetMs int64 `json:"budget_ms,omitempty"`
+	// TimeoutMs is the hard per-request deadline; exceeding it returns a
+	// structured deadline_exceeded error. 0 uses the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// OmitVertices drops the vertex arrays from the response — the density
+	// and sizes are often all a dashboard needs, and hub subgraphs can
+	// span millions of ids.
+	OmitVertices bool `json:"omit_vertices,omitempty"`
+}
+
+// UDSResponse is the POST /solve/uds answer.
+type UDSResponse struct {
+	Graph      string  `json:"graph"`
+	Version    int64   `json:"version"`
+	Algorithm  string  `json:"algorithm"`
+	Density    float64 `json:"density"`
+	Size       int     `json:"size"`
+	KStar      int32   `json:"k_star,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Vertices   []int32 `json:"vertices,omitempty"`
+	Cached     bool    `json:"cached"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+// DDSResponse is the POST /solve/dds answer.
+type DDSResponse struct {
+	Graph      string  `json:"graph"`
+	Version    int64   `json:"version"`
+	Algorithm  string  `json:"algorithm"`
+	Density    float64 `json:"density"`
+	SizeS      int     `json:"size_s"`
+	SizeT      int     `json:"size_t"`
+	XStar      int32   `json:"x_star,omitempty"`
+	YStar      int32   `json:"y_star,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	S          []int32 `json:"s,omitempty"`
+	T          []int32 `json:"t,omitempty"`
+	Cached     bool    `json:"cached"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+// decodeJSON strictly parses the request body into v.
+func decodeJSON(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("malformed JSON body: " + err.Error())
+	}
+	return nil
+}
+
+// handleListGraphs serves GET /graphs.
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) *apiError {
+	entries := s.reg.List()
+	infos := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, infoOf(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	return nil
+}
+
+// handleGetGraph serves GET /graphs/{name}.
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) *apiError {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+	}
+	writeJSON(w, http.StatusOK, infoOf(e))
+	return nil
+}
+
+// handleDeleteGraph serves DELETE /graphs/{name}.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) *apiError {
+	if err := s.reg.Remove(r.PathValue("name")); err != nil {
+		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// handleLoadGraph serves POST /graphs.
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiError {
+	var req LoadRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Name == "" {
+		return errBadRequest("name is required")
+	}
+	if (req.Path == "") == (req.Edges == "") {
+		return errBadRequest("exactly one of path and edges is required")
+	}
+	// Parsing a multi-gigabyte edge list is solver-grade work; loads share
+	// the solve semaphore.
+	if aerr := s.acquire(r); aerr != nil {
+		return aerr
+	}
+	defer s.release()
+	var (
+		e   *GraphEntry
+		err error
+	)
+	if req.Path != "" {
+		e, err = s.reg.LoadFile(req.Name, req.Path, req.Directed, req.Replace)
+	} else {
+		e, err = s.reg.LoadReader(req.Name, strings.NewReader(req.Edges), req.Directed, req.Replace)
+	}
+	switch {
+	case errors.Is(err, ErrGraphExists):
+		return &apiError{http.StatusConflict, CodeGraphExists, err.Error()}
+	case err != nil:
+		return errBadRequest("loading graph: " + err.Error())
+	}
+	writeJSON(w, http.StatusCreated, infoOf(e))
+	return nil
+}
+
+// validAlgo reports whether name is in the family's algorithm list.
+func validAlgo(name string, family []dsd.Algo) bool {
+	for _, a := range family {
+		if dsd.Algo(name) == a {
+			return true
+		}
+	}
+	return name == ""
+}
+
+// cacheKey canonicalizes a solve request. The graph version scopes the key
+// to the exact resident graph; every option that can steer the answer is
+// folded in. The request timeout is deliberately excluded — it decides
+// whether a run finishes, never what a finished run returns.
+func cacheKey(e *GraphEntry, family, algo string, o SolveOptions) string {
+	return fmt.Sprintf("%s@%d|%s|%s|w%d|e%g|d%g|i%d|b%d|v%t",
+		e.Name, e.Version, family, algo,
+		o.Workers, o.Epsilon, o.Delta, o.Iterations, o.BudgetMs, !o.OmitVertices)
+}
+
+// solveContext derives the request's solver context: the client deadline
+// (request timeout or the server default, capped by the server maximum)
+// layered over the HTTP request context, so both a timeout and a client
+// disconnect cancel the solver.
+func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if o.TimeoutMs > 0 {
+		timeout = time.Duration(o.TimeoutMs) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// solveError maps a solver failure to a structured response.
+func solveError(ctx context.Context, err error) *apiError {
+	switch {
+	case errors.Is(err, dsd.ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return &apiError{http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			"solver exceeded the request deadline: " + err.Error()}
+	case errors.Is(err, dsd.ErrCanceled):
+		return &apiError{499, CodeCanceled, "request canceled: " + err.Error()}
+	default:
+		return &apiError{http.StatusInternalServerError, CodeInternal, err.Error()}
+	}
+}
+
+// handleSolveUDS serves POST /solve/uds.
+func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiError {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	e, err := s.reg.Get(req.Graph)
+	if err != nil {
+		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+	}
+	if e.Directed {
+		return &apiError{http.StatusBadRequest, CodeWrongFamily,
+			fmt.Sprintf("graph %q is directed; use /solve/dds", e.Name)}
+	}
+	if !validAlgo(req.Algo, dsd.UDSAlgorithms()) {
+		return &apiError{http.StatusBadRequest, CodeUnknownAlgo,
+			fmt.Sprintf("unknown UDS algorithm %q (valid: %v)", req.Algo, dsd.UDSAlgorithms())}
+	}
+	key := cacheKey(e, "uds", req.Algo, req.Options)
+	start := time.Now()
+	if v, ok := s.cache.Get(key); ok {
+		resp := v.(UDSResponse) // copy; Cached/ElapsedMs are per-request
+		resp.Cached = true
+		resp.ElapsedMs = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+	if aerr := s.acquire(r); aerr != nil {
+		return aerr
+	}
+	defer s.release()
+	ctx, cancel := s.solveContext(r, req.Options)
+	defer cancel()
+	if s.solveGate != nil {
+		s.solveGate()
+	}
+	res, err := dsd.SolveUDS(e.G, dsd.Algo(req.Algo), dsd.Options{
+		Workers:    req.Options.Workers,
+		Epsilon:    req.Options.Epsilon,
+		Delta:      req.Options.Delta,
+		Iterations: req.Options.Iterations,
+		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
+		Ctx:        ctx,
+	})
+	if err != nil {
+		return solveError(ctx, err)
+	}
+	resp := UDSResponse{
+		Graph:      e.Name,
+		Version:    e.Version,
+		Algorithm:  res.Algorithm,
+		Density:    res.Density,
+		Size:       len(res.Vertices),
+		KStar:      res.KStar,
+		Iterations: res.Iterations,
+	}
+	if !req.Options.OmitVertices {
+		resp.Vertices = res.Vertices
+	}
+	s.cache.Put(key, resp)
+	resp.ElapsedMs = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleSolveDDS serves POST /solve/dds.
+func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiError {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	e, err := s.reg.Get(req.Graph)
+	if err != nil {
+		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+	}
+	if !e.Directed {
+		return &apiError{http.StatusBadRequest, CodeWrongFamily,
+			fmt.Sprintf("graph %q is undirected; use /solve/uds", e.Name)}
+	}
+	if !validAlgo(req.Algo, dsd.DDSAlgorithms()) {
+		return &apiError{http.StatusBadRequest, CodeUnknownAlgo,
+			fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
+	}
+	key := cacheKey(e, "dds", req.Algo, req.Options)
+	start := time.Now()
+	if v, ok := s.cache.Get(key); ok {
+		resp := v.(DDSResponse)
+		resp.Cached = true
+		resp.ElapsedMs = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+	if aerr := s.acquire(r); aerr != nil {
+		return aerr
+	}
+	defer s.release()
+	ctx, cancel := s.solveContext(r, req.Options)
+	defer cancel()
+	if s.solveGate != nil {
+		s.solveGate()
+	}
+	res, err := dsd.SolveDDS(e.D, dsd.Algo(req.Algo), dsd.Options{
+		Workers:    req.Options.Workers,
+		Epsilon:    req.Options.Epsilon,
+		Delta:      req.Options.Delta,
+		Iterations: req.Options.Iterations,
+		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
+		Ctx:        ctx,
+	})
+	if err != nil {
+		return solveError(ctx, err)
+	}
+	resp := DDSResponse{
+		Graph:      e.Name,
+		Version:    e.Version,
+		Algorithm:  res.Algorithm,
+		Density:    res.Density,
+		SizeS:      len(res.S),
+		SizeT:      len(res.T),
+		XStar:      res.XStar,
+		YStar:      res.YStar,
+		Iterations: res.Iterations,
+		TimedOut:   res.TimedOut,
+	}
+	if !req.Options.OmitVertices {
+		resp.S, resp.T = res.S, res.T
+	}
+	// A budget-truncated sweep is wall-clock dependent — rerunning it with
+	// more time may do better, so best-so-far answers are not cached.
+	if !res.TimedOut {
+		s.cache.Put(key, resp)
+	}
+	resp.ElapsedMs = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

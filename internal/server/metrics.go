@@ -1,0 +1,94 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Metrics is the server's expvar surface: request counts, latency sums and
+// maxima per route, structured-error counts per code, cache hit/miss
+// totals, and the active-request gauge. Every field is an expvar type, so
+// the whole struct renders as one JSON document at /debug/vars; Publish
+// additionally registers it in the process-global expvar registry (once —
+// later servers in the same process keep private metrics only, which is
+// what tests want).
+type Metrics struct {
+	Requests     expvar.Map // per route: completed request count
+	ErrorsByCode expvar.Map // per structured error code
+	LatencyMsSum expvar.Map // per route: cumulative handler milliseconds
+	LatencyMsMax expvar.Map // per route: worst single request
+	Active       expvar.Int // requests currently inside a handler
+	CacheHits    expvar.Int
+	CacheMisses  expvar.Int
+
+	maxMu sync.Mutex // LatencyMsMax read-modify-write
+}
+
+// NewMetrics returns a zeroed, unpublished metrics set.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.Requests.Init()
+	m.ErrorsByCode.Init()
+	m.LatencyMsSum.Init()
+	m.LatencyMsMax.Init()
+	return m
+}
+
+var publishOnce sync.Once
+
+// Publish registers the metrics as the process-global "dsdserver" expvar.
+// Only the first call in a process wins; expvar.Publish panics on
+// duplicates and servers come and go in tests.
+func (m *Metrics) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("dsdserver", expvar.Func(func() any { return rawJSON(m.snapshot()) }))
+	})
+}
+
+// Observe records one completed request on route.
+func (m *Metrics) Observe(route string, elapsed time.Duration) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m.Requests.Add(route, 1)
+	m.LatencyMsSum.AddFloat(route, ms)
+	m.maxMu.Lock()
+	cur, ok := m.LatencyMsMax.Get(route).(*expvar.Float)
+	if !ok {
+		cur = new(expvar.Float)
+		m.LatencyMsMax.Set(route, cur)
+	}
+	if cur.Value() < ms {
+		cur.Set(ms)
+	}
+	m.maxMu.Unlock()
+}
+
+// Error records one structured error response.
+func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
+
+// snapshot renders the metrics as one JSON object (expvar vars stringify
+// to JSON by contract).
+func (m *Metrics) snapshot() string {
+	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"cache_hits":%s,"cache_misses":%s}`,
+		m.Requests.String(), m.ErrorsByCode.String(),
+		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
+		m.Active.String(), m.CacheHits.String(), m.CacheMisses.String())
+}
+
+// rawJSON marks an already-encoded JSON string so expvar.Func does not
+// re-escape it.
+type rawJSON string
+
+// MarshalJSON returns the string verbatim.
+func (r rawJSON) MarshalJSON() ([]byte, error) { return []byte(r), nil }
+
+// handler serves the metrics in the expvar wire format at /debug/vars.
+func (m *Metrics) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, `{"dsdserver": `+m.snapshot()+"}\n")
+	})
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Structured error codes. Every non-2xx response is a JSON body
+// {"error": {"code": ..., "message": ...}} with one of these codes, so
+// clients can switch on code instead of parsing messages.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnknownGraph     = "unknown_graph"
+	CodeGraphExists      = "graph_exists"
+	CodeUnknownAlgo      = "unknown_algo"
+	CodeWrongFamily      = "wrong_family"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeCanceled         = "canceled"
+	CodeOverloaded       = "overloaded"
+	CodeInternal         = "internal"
+)
+
+// apiError carries a structured error through handler returns.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func errBadRequest(msg string) *apiError { return &apiError{http.StatusBadRequest, CodeBadRequest, msg} }
+
+// errorBody is the JSON wire shape of a failed request.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError emits the structured error response and counts it.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	s.metrics.Error(e.code)
+	var body errorBody
+	body.Error.Code = e.code
+	body.Error.Message = e.message
+	writeJSON(w, e.status, body)
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// apiHandler is a handler that reports failure as a structured error.
+type apiHandler func(w http.ResponseWriter, r *http.Request) *apiError
+
+// route wraps an apiHandler with the metrics instrumentation: the
+// active-request gauge brackets the handler, and completion records the
+// per-route count and latency under the route label.
+func (s *Server) route(label string, h apiHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Active.Add(1)
+		start := time.Now()
+		defer func() {
+			s.metrics.Observe(label, time.Since(start))
+			s.metrics.Active.Add(-1)
+		}()
+		if err := h(w, r); err != nil {
+			s.writeError(w, err)
+		}
+	})
+}
+
+// acquire is the admission-control gate for the expensive handlers (solve
+// misses and graph loads): the request either takes a semaphore slot or
+// waits for one until its context dies, at which point it is rejected as
+// overloaded. The semaphore is sized to GOMAXPROCS by default — the
+// solvers are CPU-bound and already parallel internally, so stacking more
+// concurrent solves than cores only adds memory pressure and tail latency.
+// Cache hits never pass through here; repeated queries on an unchanged
+// graph stay O(1) even under a full queue.
+func (s *Server) acquire(r *http.Request) *apiError {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return &apiError{http.StatusServiceUnavailable, CodeOverloaded,
+			"request expired while queued for a solver slot"}
+	}
+}
+
+// release returns the slot taken by acquire.
+func (s *Server) release() { <-s.sem }

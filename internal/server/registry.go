@@ -1,0 +1,207 @@
+// Package server is the densest-subgraph query service: a long-running
+// net/http layer over the solver stack that keeps graphs resident so the
+// per-query wins of the paper's algorithms (Theorem-1 early stop, w-induced
+// cores) compound across requests instead of being swamped by reloading.
+//
+// It is composed of four parts, each in its own file: a graph Registry
+// (named, versioned, resident graphs), a Cache (LRU over solved results,
+// keyed by graph version + algorithm + canonicalized options), admission
+// control and per-request deadlines (middleware.go), and expvar Metrics
+// served at /debug/vars. handlers.go wires them to the JSON endpoints and
+// server.go assembles the mux.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Registry errors, matched by the handlers to pick status codes.
+var (
+	ErrUnknownGraph = errors.New("unknown graph")
+	ErrGraphExists  = errors.New("graph already loaded")
+)
+
+// GraphEntry is one resident graph. Entries are immutable once published —
+// replacing a name installs a fresh entry with a bumped Version — so
+// handlers may use them without holding the registry lock, and the version
+// in a cache key can never alias two different graphs.
+type GraphEntry struct {
+	Name     string
+	Directed bool
+	// Version increases monotonically per name across replacements and
+	// re-additions after removal; it scopes cache keys.
+	Version  int64
+	Source   string // file path, or "inline"/"generated" for bodies
+	LoadedAt time.Time
+	Stats    dsd.Stats
+
+	// Exactly one of G, D is non-nil, matching Directed.
+	G *dsd.Graph
+	D *dsd.Digraph
+}
+
+// Registry holds the named resident graphs behind a RWMutex: lookups are
+// read-locked (the solve hot path), loads write-locked.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*GraphEntry
+	// versions survives Remove so a re-added name keeps climbing and stale
+	// cache entries stay unreachable.
+	versions map[string]int64
+	now      func() time.Time // test seam
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries:  map[string]*GraphEntry{},
+		versions: map[string]int64{},
+		now:      time.Now,
+	}
+}
+
+// Get returns the entry for name.
+func (r *Registry) Get(name string) (*GraphEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return e, nil
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*GraphEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*GraphEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of resident graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Remove drops a graph. The name's version counter is retained, so cached
+// results for the removed graph can never be served to a successor.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// LoadFile loads a graph file (text edge list or the compact binary format,
+// either gzipped — the same sniffing as the CLIs) and registers it under
+// name. With replace false an existing name is an ErrGraphExists error;
+// with replace true the entry is swapped in under a bumped version.
+func (r *Registry) LoadFile(name, path string, directed, replace bool) (*GraphEntry, error) {
+	if err := r.reserve(name, replace); err != nil {
+		return nil, err
+	}
+	e := &GraphEntry{Name: name, Directed: directed, Source: path}
+	if directed {
+		d, err := dsd.LoadDigraph(path)
+		if err != nil {
+			return nil, err
+		}
+		e.D, e.Stats = d, d.Stats()
+	} else {
+		g, err := dsd.LoadGraph(path)
+		if err != nil {
+			return nil, err
+		}
+		e.G, e.Stats = g, g.Stats()
+	}
+	return r.publish(e, replace)
+}
+
+// LoadReader parses a text edge list from src and registers it under name,
+// with the same replace semantics as LoadFile.
+func (r *Registry) LoadReader(name string, src io.Reader, directed, replace bool) (*GraphEntry, error) {
+	if err := r.reserve(name, replace); err != nil {
+		return nil, err
+	}
+	e := &GraphEntry{Name: name, Directed: directed, Source: "inline"}
+	if directed {
+		d, err := dsd.ReadDigraph(src)
+		if err != nil {
+			return nil, err
+		}
+		e.D, e.Stats = d, d.Stats()
+	} else {
+		g, err := dsd.ReadGraph(src)
+		if err != nil {
+			return nil, err
+		}
+		e.G, e.Stats = g, g.Stats()
+	}
+	return r.publish(e, replace)
+}
+
+// PutGraph registers an already-built undirected graph (programmatic
+// loading: generators, tests, embedding applications).
+func (r *Registry) PutGraph(name string, g *dsd.Graph, source string, replace bool) (*GraphEntry, error) {
+	if err := r.reserve(name, replace); err != nil {
+		return nil, err
+	}
+	return r.publish(&GraphEntry{Name: name, Source: source, G: g, Stats: g.Stats()}, replace)
+}
+
+// PutDigraph is PutGraph for digraphs.
+func (r *Registry) PutDigraph(name string, d *dsd.Digraph, source string, replace bool) (*GraphEntry, error) {
+	if err := r.reserve(name, replace); err != nil {
+		return nil, err
+	}
+	return r.publish(&GraphEntry{Name: name, Directed: true, Source: source, D: d, Stats: d.Stats()}, replace)
+}
+
+// reserve pre-checks the name so a doomed load fails before the (possibly
+// expensive) parse. The check is repeated under the write lock in publish —
+// two racing loads of the same name resolve there.
+func (r *Registry) reserve(name string, replace bool) error {
+	if name == "" {
+		return errors.New("graph name must be non-empty")
+	}
+	if replace {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	return nil
+}
+
+// publish installs the entry under the next version for its name.
+func (r *Registry) publish(e *GraphEntry, replace bool) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[e.Name]; ok && !replace {
+		return nil, fmt.Errorf("%w: %q", ErrGraphExists, e.Name)
+	}
+	r.versions[e.Name]++
+	e.Version = r.versions[e.Name]
+	e.LoadedAt = r.now()
+	r.entries[e.Name] = e
+	return e, nil
+}

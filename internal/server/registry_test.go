@@ -1,0 +1,88 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryVersioning(t *testing.T) {
+	r := NewRegistry()
+	e1, err := r.LoadReader("g", strings.NewReader("0 1\n"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 {
+		t.Fatalf("first version = %d, want 1", e1.Version)
+	}
+
+	// Duplicate without replace fails with the sentinel.
+	if _, err := r.LoadReader("g", strings.NewReader("0 1\n"), false, false); !errors.Is(err, ErrGraphExists) {
+		t.Fatalf("duplicate load err = %v, want ErrGraphExists", err)
+	}
+
+	// Replace bumps the version; the old entry stays usable by holders.
+	e2, err := r.LoadReader("g", strings.NewReader("0 1\n1 2\n"), false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 2 {
+		t.Fatalf("replaced version = %d, want 2", e2.Version)
+	}
+	if e1.Stats.M != 1 {
+		t.Fatal("replace mutated the prior entry")
+	}
+
+	// The version counter survives Remove, so a re-added name keeps
+	// climbing and stale cache keys can never alias the newcomer.
+	if err := r.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("g"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("Get after Remove err = %v, want ErrUnknownGraph", err)
+	}
+	e3, err := r.LoadReader("g", strings.NewReader("0 1\n"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Version != 3 {
+		t.Fatalf("re-added version = %d, want 3", e3.Version)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.LoadReader("", strings.NewReader("0 1\n"), false, false); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.LoadReader("bad", strings.NewReader("not numbers\n"), false, false); err == nil {
+		t.Fatal("unparseable edge list accepted")
+	}
+	// The failed parse must not burn the name.
+	if _, err := r.LoadReader("bad", strings.NewReader("0 1\n"), false, false); err != nil {
+		t.Fatalf("name poisoned by failed load: %v", err)
+	}
+	if err := r.Remove("never"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("Remove unknown err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRegistryListSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.LoadReader(name, strings.NewReader("0 1\n"), false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.List()
+	if len(got) != 3 || got[0].Name != "alpha" || got[1].Name != "mid" || got[2].Name != "zeta" {
+		names := make([]string, len(got))
+		for i, e := range got {
+			names[i] = e.Name
+		}
+		t.Fatalf("List order = %v", names)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes a Server. The zero value is a sensible production setup:
+// GOMAXPROCS concurrent solves, a 256-entry result cache, no default
+// deadline (clients opt in per request via timeout_ms).
+type Config struct {
+	// MaxConcurrent bounds simultaneously running solves and graph loads;
+	// <= 0 means GOMAXPROCS. Requests beyond the bound queue until a slot
+	// frees or their context dies.
+	MaxConcurrent int
+	// CacheSize bounds the LRU result cache; <= 0 means 256 entries.
+	CacheSize int
+	// DefaultTimeout applies to solve requests that do not carry their own
+	// timeout_ms; 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every per-request deadline (and imposes one on
+	// requests without any); 0 means uncapped.
+	MaxTimeout time.Duration
+	// PublishExpvar also registers the metrics in the process-global
+	// expvar registry (first server in the process wins). The per-server
+	// /debug/vars endpoint works either way.
+	PublishExpvar bool
+}
+
+// Server is the densest-subgraph query service: a graph registry, a result
+// cache, admission control, and metrics behind a net/http mux. Construct
+// with New, mount Handler on an http.Server, and drain with
+// http.Server.Shutdown — handlers hold no state that outlives a request,
+// so the standard graceful shutdown drains in-flight solves completely.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *Cache
+	metrics *Metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	// solveGate, when set (tests only), runs inside the solve handlers
+	// after admission and before the solver call.
+	solveGate func()
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	m := NewMetrics()
+	if cfg.PublishExpvar {
+		m.Publish()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   NewCache(cfg.CacheSize, &m.CacheHits, &m.CacheMisses),
+		metrics: m,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("GET /graphs", s.route("list_graphs", s.handleListGraphs))
+	s.mux.Handle("POST /graphs", s.route("load_graph", s.handleLoadGraph))
+	s.mux.Handle("GET /graphs/{name}", s.route("get_graph", s.handleGetGraph))
+	s.mux.Handle("DELETE /graphs/{name}", s.route("delete_graph", s.handleDeleteGraph))
+	s.mux.Handle("POST /solve/uds", s.route("solve_uds", s.handleSolveUDS))
+	s.mux.Handle("POST /solve/dds", s.route("solve_dds", s.handleSolveDDS))
+	s.mux.Handle("GET /debug/vars", m.handler())
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the root handler for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the graph registry for programmatic preloading
+// (cmd/dsdserver's -load flags, embedded servers, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the result cache (tests and diagnostics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics exposes the metrics set (tests and diagnostics).
+func (s *Server) Metrics() *Metrics { return s.metrics }

@@ -1,6 +1,9 @@
 package uds
 
 import (
+	"context"
+
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/maxflow"
@@ -20,12 +23,21 @@ import (
 // practical up to ~10^5-edge graphs, and the oracle every approximation
 // algorithm in this package is tested against.
 func Exact(g *graph.Undirected) Result {
+	r, _ := ExactCtx(nil, g)
+	return r
+}
+
+// ExactCtx is Exact under cooperative cancellation: the binary search polls
+// ctx between min-cut probes (and inside each flow computation, between
+// blocking-flow phases) and returns a wrapped cancel.ErrCanceled once ctx
+// is done. A nil ctx never cancels.
+func ExactCtx(ctx context.Context, g *graph.Undirected) (Result, error) {
 	n := g.N()
 	if n == 0 {
-		return Result{Algorithm: "Exact"}
+		return Result{Algorithm: "Exact"}, nil
 	}
 	if g.M() == 0 {
-		return Result{Algorithm: "Exact", Vertices: []int32{0}, Density: 0}
+		return Result{Algorithm: "Exact", Vertices: []int32{0}, Density: 0}, nil
 	}
 	edges := g.Edges()
 	degs := g.Degrees()
@@ -37,7 +49,10 @@ func Exact(g *graph.Undirected) Result {
 	for hi-lo >= gap {
 		mid := (lo + hi) / 2
 		probes++
-		s := denserThan(n, edges, degs, mid)
+		s, err := denserThan(ctx, n, edges, degs, mid)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) == 0 {
 			hi = mid
 		} else {
@@ -55,13 +70,18 @@ func Exact(g *graph.Undirected) Result {
 		Vertices:   best,
 		Density:    g.InducedDensity(best),
 		Iterations: probes,
-	}
+	}, nil
 }
 
 // denserThan returns a vertex set inducing density > threshold, or nil.
-func denserThan(n int, edges []graph.Edge, degs []int32, threshold float64) []int32 {
+// A non-nil error means ctx expired before the min-cut finished.
+func denserThan(ctx context.Context, n int, edges []graph.Edge, degs []int32, threshold float64) ([]int32, error) {
+	if err := cancel.Check(ctx); err != nil {
+		return nil, err
+	}
 	// Node layout: 0..n-1 vertices, n = source, n+1 = sink.
 	nw := maxflow.NewNetwork(n + 2)
+	nw.SetContext(ctx)
 	src, snk := int32(n), int32(n+1)
 	for v := 0; v < n; v++ {
 		if degs[v] > 0 {
@@ -74,6 +94,9 @@ func denserThan(n int, edges []graph.Edge, degs []int32, threshold float64) []in
 		nw.AddArc(e.V, e.U, 1)
 	}
 	nw.Solve(src, snk)
+	if nw.Canceled() {
+		return nil, cancel.Check(ctx)
+	}
 	side := nw.MinCutSource(src)
 	out := make([]int32, 0, len(side))
 	for _, v := range side {
@@ -81,7 +104,7 @@ func denserThan(n int, edges []graph.Edge, degs []int32, threshold float64) []in
 			out = append(out, v)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // BruteForce solves UDS by enumerating all 2^n - 1 non-empty vertex
@@ -119,10 +142,20 @@ func BruteForce(g *graph.Undirected) Result {
 // ⌈ρ̃⌉-core, and runs the Goldberg binary search there — typically orders
 // of magnitude fewer flow nodes than Exact on power-law graphs.
 func ExactPruned(g *graph.Undirected, p int) Result {
+	r, _ := ExactPrunedCtx(nil, g, p)
+	return r
+}
+
+// ExactPrunedCtx is ExactPruned with the same cancellation contract as
+// ExactCtx.
+func ExactPrunedCtx(ctx context.Context, g *graph.Undirected, p int) (Result, error) {
 	if g.N() == 0 || g.M() == 0 {
-		res := Exact(g)
+		res, err := ExactCtx(ctx, g)
 		res.Algorithm = "ExactPruned"
-		return res
+		return res, err
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return Result{}, err
 	}
 	approx := core.PKMC(g, p)
 	lower := g.InducedDensity(approx.Vertices) // ρ̃ <= ρ*
@@ -135,7 +168,10 @@ func ExactPruned(g *graph.Undirected, p int) Result {
 	coreNum := core.Local(g, p).CoreNum
 	keep := core.KCore(coreNum, k)
 	sub, orig := g.Induced(keep)
-	res := Exact(sub)
+	res, err := ExactCtx(ctx, sub)
+	if err != nil {
+		return Result{}, err
+	}
 	mapped := make([]int32, len(res.Vertices))
 	for i, v := range res.Vertices {
 		mapped[i] = orig[v]
@@ -146,7 +182,7 @@ func ExactPruned(g *graph.Undirected, p int) Result {
 		Density:    g.InducedDensity(mapped),
 		Iterations: res.Iterations,
 		KStar:      approx.KStar,
-	}
+	}, nil
 }
 
 // ExactEpsilon is the (1+ε)-approximate flow solver: the same Goldberg
@@ -157,14 +193,24 @@ func ExactPruned(g *graph.Undirected, p int) Result {
 // (Chekuri et al. [29]). With the PKMC lower bound seeding the interval,
 // a handful of min-cuts suffice.
 func ExactEpsilon(g *graph.Undirected, eps float64, p int) Result {
+	r, _ := ExactEpsilonCtx(nil, g, eps, p)
+	return r
+}
+
+// ExactEpsilonCtx is ExactEpsilon with the same cancellation contract as
+// ExactCtx.
+func ExactEpsilonCtx(ctx context.Context, g *graph.Undirected, eps float64, p int) (Result, error) {
 	n := g.N()
 	if n == 0 || g.M() == 0 {
-		res := Exact(g)
+		res, err := ExactCtx(ctx, g)
 		res.Algorithm = "ExactEpsilon"
-		return res
+		return res, err
 	}
 	if eps <= 0 {
 		eps = 0.1
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return Result{}, err
 	}
 	approx := core.PKMC(g, p)
 	lower := g.InducedDensity(approx.Vertices)
@@ -176,7 +222,11 @@ func ExactEpsilon(g *graph.Undirected, eps float64, p int) Result {
 	for hi-lo > eps*lo {
 		mid := (lo + hi) / 2
 		probes++
-		if s := denserThan(n, edges, degs, mid); len(s) > 0 {
+		s, err := denserThan(ctx, n, edges, degs, mid)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(s) > 0 {
 			lo = mid
 			best = s
 		} else {
@@ -189,5 +239,5 @@ func ExactEpsilon(g *graph.Undirected, eps float64, p int) Result {
 		Density:    g.InducedDensity(best),
 		Iterations: probes,
 		KStar:      approx.KStar,
-	}
+	}, nil
 }

@@ -1,6 +1,9 @@
 package uds
 
 import (
+	"context"
+
+	"repro/internal/cancel"
 	"repro/internal/graph"
 )
 
@@ -21,9 +24,17 @@ const DefaultGreedyPPRounds = 16
 // Guarantee: never worse than Charikar's 2-approximation (round one *is*
 // Charikar), converging to (1+ε) as rounds grow.
 func GreedyPP(g *graph.Undirected, rounds int) Result {
+	r, _ := GreedyPPCtx(nil, g, rounds)
+	return r
+}
+
+// GreedyPPCtx is GreedyPP under cooperative cancellation: ctx is polled
+// once per peel round (each round is O(m + n + L) work) and a wrapped
+// cancel.ErrCanceled is returned once it is done. A nil ctx never cancels.
+func GreedyPPCtx(ctx context.Context, g *graph.Undirected, rounds int) (Result, error) {
 	n := g.N()
 	if n == 0 {
-		return Result{Algorithm: "GreedyPP"}
+		return Result{Algorithm: "GreedyPP"}, nil
 	}
 	if rounds <= 0 {
 		rounds = DefaultGreedyPPRounds
@@ -36,6 +47,9 @@ func GreedyPP(g *graph.Undirected, rounds int) Result {
 	alive := make([]bool, n)
 	order := make([]int32, 0, n)
 	for r := 0; r < rounds; r++ {
+		if err := cancel.Check(ctx); err != nil {
+			return Result{}, err
+		}
 		// Peel by key = load + current degree, implemented with a lazy
 		// integer heap over int64 keys via buckets of a growing slice —
 		// loads are unbounded, so the bucket trick needs the max key.
@@ -117,5 +131,5 @@ func GreedyPP(g *graph.Undirected, rounds int) Result {
 		Vertices:   best,
 		Density:    g.InducedDensity(best),
 		Iterations: rounds,
-	}
+	}, nil
 }

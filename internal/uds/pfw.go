@@ -1,8 +1,10 @@
 package uds
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -22,9 +24,17 @@ const DefaultPFWIterations = 100
 // dense subgraph is extracted by sweeping vertices in decreasing load order
 // and keeping the densest prefix ("fractional peeling").
 func PFW(g *graph.Undirected, iters, p int) Result {
+	r, _ := PFWCtx(nil, g, iters, p)
+	return r
+}
+
+// PFWCtx is PFW under cooperative cancellation: ctx is polled once per
+// Frank–Wolfe sweep (each sweep is a full O(m) pass) and a wrapped
+// cancel.ErrCanceled is returned once it is done. A nil ctx never cancels.
+func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, error) {
 	n := g.N()
 	if n == 0 {
-		return Result{Algorithm: "PFW"}
+		return Result{Algorithm: "PFW"}, nil
 	}
 	if iters <= 0 {
 		iters = DefaultPFWIterations
@@ -38,6 +48,9 @@ func PFW(g *graph.Undirected, iters, p int) Result {
 	}
 	recomputeLoads(edges, alpha, r, p)
 	for t := 0; t < iters; t++ {
+		if err := cancel.Check(ctx); err != nil {
+			return Result{}, err
+		}
 		gamma := 2.0 / float64(t+2)
 		parallel.For(m, p, func(i int) {
 			e := edges[i]
@@ -88,7 +101,7 @@ func PFW(g *graph.Undirected, iters, p int) Result {
 		Vertices:   set,
 		Density:    g.InducedDensity(set),
 		Iterations: iters,
-	}
+	}, nil
 }
 
 // recomputeLoads rebuilds r(v) = sum of edge shares in parallel. Loads are

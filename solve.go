@@ -1,16 +1,25 @@
 package dsd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/dds"
 	"repro/internal/kclique"
 	"repro/internal/truss"
 	"repro/internal/uds"
 )
+
+// ErrCanceled is the sentinel wrapped by SolveUDS and SolveDDS when
+// Options.Ctx is canceled or its deadline passes before the solver
+// finishes. The chain retains the context's own error, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout from an
+// explicit cancel.
+var ErrCanceled = cancel.ErrCanceled
 
 // Algo names a densest-subgraph algorithm. The UDS and DDS families are
 // disjoint; SolveUDS and SolveDDS reject algorithms from the wrong family.
@@ -72,8 +81,18 @@ type Options struct {
 	// Iterations bounds Frank–Wolfe sweeps (default 100).
 	Iterations int
 	// Budget caps wall time for the slow baselines (PBS, PFKS, PBD, PFW);
-	// 0 means unlimited. Mirrors the paper's 10⁵-second cap.
+	// 0 means unlimited. Mirrors the paper's 10⁵-second cap. A budget
+	// expiry is not an error: the solver returns its best-so-far answer
+	// with TimedOut set.
 	Budget time.Duration
+	// Ctx requests cooperative cancellation: the long-running solvers (the
+	// exact flow binary searches, Frank–Wolfe sweeps, Greedy++ rounds, and
+	// the budgeted ratio sweeps) poll it at iteration boundaries and
+	// SolveUDS/SolveDDS return a wrapped ErrCanceled once it is done. For
+	// the budgeted DDS baselines a Ctx deadline also tightens Budget, so a
+	// request-scoped timeout bounds them even when Budget is unset. nil
+	// means never cancel.
+	Ctx context.Context
 }
 
 // Result is a solved UDS instance.
@@ -112,8 +131,13 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
 	if algo == "" {
 		algo = AlgoPKMC
 	}
+	ctx := opts.Ctx
+	if err := cancel.Check(ctx); err != nil {
+		return Result{}, err
+	}
 	p := opts.Workers
 	var r uds.Result
+	var err error
 	switch algo {
 	case AlgoPKMC:
 		r = uds.PKMC(g.g, p)
@@ -126,19 +150,22 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
 	case AlgoCharikar:
 		r = uds.Charikar(g.g)
 	case AlgoGreedyPP:
-		r = uds.GreedyPP(g.g, opts.Iterations)
+		r, err = uds.GreedyPPCtx(ctx, g.g, opts.Iterations)
 	case AlgoPBU:
 		r = uds.PBU(g.g, opts.Epsilon, p)
 	case AlgoPFW:
-		r = uds.PFW(g.g, opts.Iterations, p)
+		r, err = uds.PFWCtx(ctx, g.g, opts.Iterations, p)
 	case AlgoExact:
-		r = uds.Exact(g.g)
+		r, err = uds.ExactCtx(ctx, g.g)
 	case AlgoExactPruned:
-		r = uds.ExactPruned(g.g, p)
+		r, err = uds.ExactPrunedCtx(ctx, g.g, p)
 	case AlgoExactEps:
-		r = uds.ExactEpsilon(g.g, opts.Epsilon, p)
+		r, err = uds.ExactEpsilonCtx(ctx, g.g, opts.Epsilon, p)
 	default:
 		return Result{}, fmt.Errorf("dsd: unknown UDS algorithm %q (valid: %v)", algo, UDSAlgorithms())
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		Algorithm:  r.Algorithm,
@@ -155,29 +182,49 @@ func SolveDDS(d *Digraph, algo Algo, opts Options) (DirectedResult, error) {
 	if algo == "" {
 		algo = AlgoPWC
 	}
+	ctx := opts.Ctx
+	if err := cancel.Check(ctx); err != nil {
+		return DirectedResult{}, err
+	}
+	// A request deadline bounds the budgeted baselines too: the sweep stops
+	// at whichever of Budget and the Ctx deadline comes first. Budget
+	// winning keeps the best-so-far answer; Ctx winning surfaces as a
+	// wrapped ErrCanceled from the solver.
+	budget := opts.Budget
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); budget <= 0 || rem < budget {
+				budget = rem
+			}
+		}
+	}
 	p := opts.Workers
 	var r dds.Result
+	var err error
 	switch algo {
 	case AlgoPWC:
 		r = dds.PWC(d.d, p)
 	case AlgoPXY:
 		r = dds.PXY(d.d, p)
 	case AlgoPBS:
-		r = dds.PBS(d.d, p, opts.Budget)
+		r, err = dds.PBSCtx(ctx, d.d, p, budget)
 	case AlgoPFKS:
-		r = dds.PFKS(d.d, p, opts.Budget)
+		r, err = dds.PFKSCtx(ctx, d.d, p, budget)
 	case AlgoPBD:
-		r = dds.PBD(d.d, opts.Delta, opts.Epsilon, p, opts.Budget)
+		r, err = dds.PBDCtx(ctx, d.d, opts.Delta, opts.Epsilon, p, budget)
 	case AlgoPFWD:
-		r = dds.PFW(d.d, opts.Iterations, p, opts.Budget)
+		r, err = dds.PFWCtx(ctx, d.d, opts.Iterations, p, budget)
 	case AlgoExactDDS:
-		r = dds.Exact(d.d)
+		r, err = dds.ExactCtx(ctx, d.d)
 	case AlgoExactPrunedDDS:
-		r = dds.ExactPruned(d.d, p)
+		r, err = dds.ExactPrunedCtx(ctx, d.d, p)
 	case AlgoBrute:
 		r = dds.BruteForce(d.d)
 	default:
 		return DirectedResult{}, fmt.Errorf("dsd: unknown DDS algorithm %q (valid: %v)", algo, DDSAlgorithms())
+	}
+	if err != nil {
+		return DirectedResult{}, err
 	}
 	return DirectedResult{
 		Algorithm:  r.Algorithm,
