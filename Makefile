@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench repro figures datasets examples serve clean
+.PHONY: all build vet test race cover fuzz fuzz-smoke bench repro figures datasets examples serve clean
+
+# Packages with concurrency worth racing: the parallel runtime, both solver
+# families, the fault injector, graph I/O, and the HTTP service.
+RACE_PKGS = ./internal/parallel ./internal/core ./internal/dds \
+            ./internal/faultinject ./internal/graph ./internal/server
 
 all: build vet test
 
@@ -15,17 +20,25 @@ vet:
 
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/server
+	$(GO) test -race $(RACE_PKGS)
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/dds ./internal/dist ./internal/server
+	$(GO) test -race $(RACE_PKGS) ./internal/dist .
 
 cover:
 	$(GO) test -cover ./...
 
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph
-	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph
+	$(GO) test -fuzz 'FuzzReadBinary$$' -fuzztime 30s ./internal/graph
+	$(GO) test -fuzz FuzzReadBinaryDirected -fuzztime 30s ./internal/graph
+
+# Quick CI-grade pass over every fuzz target: seeds plus a few seconds of
+# mutation each, enough to catch reader regressions without a long soak.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 5s ./internal/graph
+	$(GO) test -fuzz 'FuzzReadBinary$$' -fuzztime 5s ./internal/graph
+	$(GO) test -fuzz FuzzReadBinaryDirected -fuzztime 5s ./internal/graph
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dsdserver [-addr :8080] [-load name=path[,directed]]...
-//	          [-max-concurrent N] [-cache N]
+//	          [-max-concurrent N] [-cache N] [-max-queue-wait 30s]
 //	          [-default-timeout 0] [-max-timeout 0] [-drain 30s]
 //
 // Endpoints:
@@ -18,8 +18,9 @@
 //	DELETE /graphs/{name}     drop a graph
 //	POST   /solve/uds         {"graph", "algo", "options"} -> densest subgraph
 //	POST   /solve/dds         {"graph", "algo", "options"} -> densest (S, T)
-//	GET    /debug/vars        expvar metrics (requests, latency, cache, active)
+//	GET    /debug/vars        expvar metrics (requests, latency, cache, active, panics)
 //	GET    /healthz           liveness probe
+//	GET    /readyz            readiness probe (503 until -load graphs are resident)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests for up to -drain before exiting.
@@ -56,6 +57,7 @@ type options struct {
 	cacheSize     int
 	defaultTO     time.Duration
 	maxTO         time.Duration
+	maxQueueWait  time.Duration
 	drain         time.Duration
 }
 
@@ -81,6 +83,7 @@ func parseArgs(args []string) (*options, error) {
 	fs.IntVar(&o.cacheSize, "cache", 0, "result cache entries (0 = 256)")
 	fs.DurationVar(&o.defaultTO, "default-timeout", 0, "deadline for requests without timeout_ms (0 = none)")
 	fs.DurationVar(&o.maxTO, "max-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
+	fs.DurationVar(&o.maxQueueWait, "max-queue-wait", 0, "how long a request may queue for a solver slot before a 503 (0 = 30s, negative = unbounded)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain window")
 	fs.Func("load", "graph to preload, name=path[,directed] (repeatable)", func(v string) error {
 		spec, err := parseLoadSpec(v)
@@ -121,18 +124,15 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 		CacheSize:      o.cacheSize,
 		DefaultTimeout: o.defaultTO,
 		MaxTimeout:     o.maxTO,
-		PublishExpvar:  true,
+		MaxQueueWait:   o.maxQueueWait,
+		// With preloads pending, /readyz reports 503 until they land, so a
+		// load balancer never routes to a replica that would 404 its graphs.
+		StartUnready:  len(o.loads) > 0,
+		PublishExpvar: true,
 	})
-	for _, spec := range o.loads {
-		start := time.Now()
-		e, err := srv.Registry().LoadFile(spec.name, spec.path, spec.directed, false)
-		if err != nil {
-			return fmt.Errorf("preloading %s: %w", spec.name, err)
-		}
-		logger.Printf("loaded %s: n=%d m=%d directed=%t (%v)",
-			e.Name, e.Stats.N, e.Stats.M, e.Directed, time.Since(start).Round(time.Millisecond))
-	}
 
+	// Listen before loading: liveness and diagnostics are reachable while
+	// multi-gigabyte preloads parse, and readiness gates the traffic.
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -140,11 +140,42 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	logger.Printf("serving on %s (%d graphs resident)", ln.Addr(), srv.Registry().Len())
+	logger.Printf("serving on %s (%d graphs preloading)", ln.Addr(), len(o.loads))
 
+	loaded := make(chan error, 1)
+	go func() {
+		for _, spec := range o.loads {
+			start := time.Now()
+			e, err := srv.Registry().LoadFile(spec.name, spec.path, spec.directed, false)
+			if err != nil {
+				loaded <- fmt.Errorf("preloading %s: %w", spec.name, err)
+				return
+			}
+			logger.Printf("loaded %s: n=%d m=%d directed=%t (%v)",
+				e.Name, e.Stats.N, e.Stats.M, e.Directed, time.Since(start).Round(time.Millisecond))
+		}
+		srv.MarkReady()
+		if len(o.loads) > 0 {
+			logger.Printf("ready: %d graphs resident", srv.Registry().Len())
+		}
+		loaded <- nil
+	}()
+
+	var cause error
 	select {
 	case err := <-errc:
 		return err
+	case cause = <-loaded:
+		if cause == nil {
+			// Preloads landed; keep serving until a signal or server error.
+			select {
+			case err := <-errc:
+				return err
+			case <-ctx.Done():
+			}
+		}
+		// A failed preload is fatal — a replica that can never become ready
+		// should exit loudly, not serve 503s forever — but drains first.
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down: draining in-flight requests (up to %v)", o.drain)
@@ -155,6 +186,9 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if cause != nil {
+		return cause
 	}
 	logger.Printf("bye")
 	return nil

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -103,6 +104,22 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	}
 
+	// Preloads land in the background; /readyz flips to 200 once the graph
+	// is resident, and only then is a solve guaranteed to find it.
+	for start := time.Now(); ; {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("server never became ready; log:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	resp, err := http.Post("http://"+addr+"/solve/uds", "application/json",
 		bytes.NewReader([]byte(`{"graph":"tri","algo":"pkmc"}`)))
 	if err != nil {
@@ -127,5 +144,27 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not exit after context cancel")
+	}
+}
+
+// TestRunFailedPreloadExits: a replica whose -load can never succeed must
+// exit with the load error rather than serve 503 readiness forever.
+func TestRunFailedPreloadExits(t *testing.T) {
+	o := &options{addr: "127.0.0.1:0", drain: 5 * time.Second,
+		loads: []loadSpec{{name: "ghost", path: filepath.Join(t.TempDir(), "missing.txt")}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	logs := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, log.New(logs, "", 0)) }()
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "preloading ghost") {
+			t.Fatalf("run returned %v, want a preloading error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after a failed preload")
 	}
 }

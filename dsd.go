@@ -40,9 +40,21 @@ type Graph struct {
 }
 
 // NewGraph builds an undirected graph on n vertices from an edge list.
-// It panics if an edge endpoint is outside [0, n).
+// It panics if an edge endpoint is outside [0, n); use NewGraphChecked when
+// the edge list comes from untrusted input.
 func NewGraph(n int, edges []Edge) *Graph {
 	return &Graph{g: graph.NewUndirected(n, edges)}
+}
+
+// NewGraphChecked is NewGraph with validation failures (negative n, edge
+// endpoint outside [0, n)) reported as an error instead of a panic — the
+// builder for edge lists from untrusted sources.
+func NewGraphChecked(n int, edges []Edge) (*Graph, error) {
+	g, err := graph.NewUndirectedChecked(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
 }
 
 // ReadGraph parses a whitespace-separated edge list ("u v" per line, '%'
@@ -110,9 +122,20 @@ type Digraph struct {
 }
 
 // NewDigraph builds a digraph on n vertices from an arc list (Edge{U, V}
-// is the arc U -> V). It panics if an endpoint is outside [0, n).
+// is the arc U -> V). It panics if an endpoint is outside [0, n); use
+// NewDigraphChecked when the arc list comes from untrusted input.
 func NewDigraph(n int, arcs []Edge) *Digraph {
 	return &Digraph{d: graph.NewDirected(n, arcs)}
+}
+
+// NewDigraphChecked is NewDigraph with validation failures reported as an
+// error instead of a panic.
+func NewDigraphChecked(n int, arcs []Edge) (*Digraph, error) {
+	d, err := graph.NewDirectedChecked(n, arcs)
+	if err != nil {
+		return nil, err
+	}
+	return &Digraph{d: d}, nil
 }
 
 // ReadDigraph parses a text edge list as arcs.

@@ -1,0 +1,59 @@
+package dsd
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/parallel"
+)
+
+// ErrInternal is the sentinel wrapped by SolveUDS and SolveDDS when a solver
+// panics — a bug in this library (or an injected fault), never a property of
+// the input. The concrete error in the chain is a *PanicError carrying the
+// panic value and the stack of the goroutine that panicked, so callers can
+// log the stack while switching on errors.Is(err, dsd.ErrInternal).
+//
+// Panics inside parallel worker goroutines are re-raised on the calling
+// goroutine by internal/parallel, so this recovery point is complete: no
+// solver panic, serial or parallel, escapes the Solve entry points.
+var ErrInternal = errors.New("internal solver error")
+
+// PanicError is the concrete error behind ErrInternal: a recovered solver
+// panic with the stack captured at the panic site.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack of the panicking goroutine — the worker's stack
+	// when the panic was trapped by internal/parallel, else the solving
+	// goroutine's.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v: panic: %v", ErrInternal, e.Value)
+}
+
+// Unwrap links the chain to ErrInternal and, when the panic value was
+// itself an error, to that error as well.
+func (e *PanicError) Unwrap() []error {
+	if err, ok := e.Value.(error); ok {
+		return []error{ErrInternal, err}
+	}
+	return []error{ErrInternal}
+}
+
+// recoverToError is the deferred recovery of the Solve entry points: it
+// converts an escaped panic into a *PanicError assigned to *err, preserving
+// the most precise stack available.
+func recoverToError(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if wp, ok := r.(*parallel.WorkerPanic); ok {
+		*err = &PanicError{Value: wp.Value, Stack: wp.Stack}
+		return
+	}
+	*err = &PanicError{Value: r, Stack: debug.Stack()}
+}

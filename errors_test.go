@@ -1,0 +1,92 @@
+package dsd_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	dsd "repro"
+	"repro/internal/faultinject"
+)
+
+func chaosGraph() *dsd.Graph {
+	return dsd.NewGraph(5, []dsd.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+}
+
+func chaosDigraph() *dsd.Digraph {
+	return dsd.NewDigraph(5, []dsd.Edge{
+		{U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 4, V: 0},
+	})
+}
+
+// TestSolvePanicBecomesErrInternal is the contract the HTTP layer builds
+// on: a panic anywhere under a solve entry point — here injected into the
+// parallel workers — surfaces as an error matching dsd.ErrInternal with
+// the worker's stack attached, instead of escaping to the caller.
+func TestSolvePanicBecomesErrInternal(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm("parallel.for.chunk", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+
+	_, err := dsd.SolveUDS(chaosGraph(), "", dsd.Options{Workers: 4})
+	if err == nil {
+		t.Fatal("SolveUDS returned nil error with a panic armed on every chunk")
+	}
+	if !errors.Is(err, dsd.ErrInternal) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrInternal)", err)
+	}
+	var pe *dsd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *dsd.PanicError in the chain", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError.Stack is empty; the worker stack must be preserved")
+	}
+	if !strings.Contains(string(pe.Stack), "parallel") {
+		t.Fatalf("stack does not mention the parallel package:\n%s", pe.Stack)
+	}
+
+	// Containment is per call: with the fault cleared the same graph solves.
+	faultinject.Reset()
+	res, err := dsd.SolveUDS(chaosGraph(), "", dsd.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("post-reset SolveUDS: %v", err)
+	}
+	if res.Density != 1.5 {
+		t.Fatalf("post-reset density = %v, want 1.5", res.Density)
+	}
+}
+
+// TestSolveDDSPanicBecomesErrInternal is the directed-family analog.
+func TestSolveDDSPanicBecomesErrInternal(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm("parallel.for.chunk", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+
+	_, err := dsd.SolveDDS(chaosDigraph(), "", dsd.Options{Workers: 4})
+	if err == nil {
+		t.Fatal("SolveDDS returned nil error with a panic armed on every chunk")
+	}
+	if !errors.Is(err, dsd.ErrInternal) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrInternal)", err)
+	}
+
+	faultinject.Reset()
+	if _, err := dsd.SolveDDS(chaosDigraph(), "", dsd.Options{Workers: 4}); err != nil {
+		t.Fatalf("post-reset SolveDDS: %v", err)
+	}
+}
+
+// TestPanicErrorUnwrapsOriginal checks that a panic whose value is itself
+// an error stays matchable through the PanicError wrapper.
+func TestPanicErrorUnwrapsOriginal(t *testing.T) {
+	sentinel := errors.New("boom sentinel")
+	pe := &dsd.PanicError{Value: sentinel}
+	if !errors.Is(pe, dsd.ErrInternal) {
+		t.Fatal("PanicError does not match ErrInternal")
+	}
+	if !errors.Is(pe, sentinel) {
+		t.Fatal("PanicError does not unwrap to the original panic error value")
+	}
+}

@@ -23,8 +23,9 @@ import (
 )
 
 func main() {
-	// The server side: a resident-graph query service on an ephemeral port.
-	srv := server.New(server.Config{})
+	// The server side: a resident-graph query service on an ephemeral port,
+	// born unready — like a production replica still loading its graphs.
+	srv := server.New(server.Config{StartUnready: true})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -33,6 +34,10 @@ func main() {
 	go hs.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	fmt.Println("serving on", base)
+
+	// Liveness and readiness diverge while the graphs load: /healthz says
+	// the process is up, /readyz says do not route traffic here yet.
+	fmt.Printf("healthz=%d readyz=%d (loading)\n", getStatus(base+"/healthz"), getStatus(base+"/readyz"))
 
 	// The client side: generate two power-law graphs and upload them as
 	// inline edge lists — exactly what a remote client would POST.
@@ -49,6 +54,10 @@ func main() {
 		log.Fatal(err)
 	}
 	post(base+"/graphs", map[string]any{"name": "follows", "edges": arcs.String(), "directed": true})
+
+	// Both graphs resident: flip the readiness gate open.
+	srv.MarkReady()
+	fmt.Printf("healthz=%d readyz=%d (ready)\n", getStatus(base+"/healthz"), getStatus(base+"/readyz"))
 
 	var listing struct {
 		Graphs []server.GraphInfo `json:"graphs"`
@@ -111,6 +120,15 @@ func postJSON(url string, body, out any) {
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func getStatus(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 func getJSON(url string, out any) {

@@ -1,0 +1,195 @@
+// Package faultinject provides named fault-injection probe points for the
+// chaos test suites. Production code calls Hit (or Fire) at a probe site; in
+// normal operation nothing is armed and the call is a single atomic load.
+// Tests Arm a site with a panic, delay, or error fault and a deterministic
+// firing schedule, exercise the system, and assert that the containment
+// machinery (panic trapping in internal/parallel, the solver recover in the
+// dsd entry points, the registry's abort-on-failure load path) holds.
+//
+// Firing is deterministic: each site counts its hits, and a fault fires on
+// every Every-th hit (optionally scrambled by a seed so "1-in-N" faults do
+// not land on a fixed stride). Determinism is per-site hit order — under
+// concurrency the set of firing hits is fixed even though which goroutine
+// draws them is not, which is exactly what a chaos test wants: a repeatable
+// fault rate with scheduler-dependent placement.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed fault does when it fires.
+type Mode int
+
+const (
+	// ModePanic panics with an *InjectedPanic carrying the site name.
+	ModePanic Mode = iota
+	// ModeDelay sleeps for Fault.Delay, then lets the hit proceed.
+	ModeDelay
+	// ModeError returns Fault.Err (or a site-stamped ErrInjected) from Hit.
+	// Probe sites without an error channel convert it to a panic via Fire.
+	ModeError
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests can
+// errors.Is a failure back to the injector regardless of site.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// InjectedPanic is the value ModePanic panics with; chaos tests type-assert
+// recovered values against it to distinguish injected panics from real bugs.
+type InjectedPanic struct {
+	Site string
+}
+
+func (p *InjectedPanic) String() string { return "faultinject: injected panic at " + p.Site }
+
+// Fault describes one armed fault.
+type Fault struct {
+	Mode Mode
+	// Every fires the fault on every Every-th hit of the site; <= 1 means
+	// every hit.
+	Every uint64
+	// Seed, when non-zero, scrambles which residue class of hits fires
+	// (still exactly one hit in Every on average, deterministically).
+	Seed uint64
+	// Count caps the total number of firings; 0 means unlimited.
+	Count uint64
+	// Delay is the sleep of ModeDelay.
+	Delay time.Duration
+	// Err overrides the error returned by ModeError; nil uses a
+	// site-stamped wrap of ErrInjected.
+	Err error
+}
+
+// armed is one site's fault plus its firing state.
+type armed struct {
+	f     Fault
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+var (
+	mu    sync.RWMutex
+	sites map[string]*armed
+	// nArmed is the fast path: zero means every Hit returns immediately
+	// without touching the map or its lock.
+	nArmed atomic.Int64
+)
+
+// Arm installs (or replaces) the fault for site.
+func Arm(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]*armed{}
+	}
+	if _, ok := sites[site]; !ok {
+		nArmed.Add(1)
+	}
+	sites[site] = &armed{f: f}
+}
+
+// Disarm removes the fault for site, if any.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		nArmed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	nArmed.Add(int64(-len(sites)))
+	sites = nil
+}
+
+// Fired reports how many times site's fault has fired (0 if not armed).
+func Fired(site string) uint64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	if a, ok := sites[site]; ok {
+		return a.fired.Load()
+	}
+	return 0
+}
+
+// Hits reports how many times site has been hit since it was armed.
+func Hits(site string) uint64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	if a, ok := sites[site]; ok {
+		return a.hits.Load()
+	}
+	return 0
+}
+
+// Hit is the probe call sites place on their fault-relevant paths. With
+// nothing armed at site it returns nil (one atomic load when nothing is
+// armed anywhere). An armed ModeError fault returns its error; ModePanic
+// panics with an *InjectedPanic; ModeDelay sleeps and returns nil.
+func Hit(site string) error {
+	if nArmed.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	a := sites[site]
+	mu.RUnlock()
+	if a == nil {
+		return nil
+	}
+	hit := a.hits.Add(1)
+	every := a.f.Every
+	if every <= 1 {
+		every = 1
+	}
+	idx := hit
+	if a.f.Seed != 0 {
+		idx = splitmix64(a.f.Seed ^ hit)
+	}
+	if idx%every != 0 {
+		return nil
+	}
+	if a.f.Count > 0 && a.fired.Add(1) > a.f.Count {
+		return nil
+	} else if a.f.Count == 0 {
+		a.fired.Add(1)
+	}
+	switch a.f.Mode {
+	case ModePanic:
+		panic(&InjectedPanic{Site: site})
+	case ModeDelay:
+		time.Sleep(a.f.Delay)
+		return nil
+	default:
+		if a.f.Err != nil {
+			return a.f.Err
+		}
+		return fmt.Errorf("%w (site %s)", ErrInjected, site)
+	}
+}
+
+// Fire is Hit for sites with no error channel (e.g. the parallel worker
+// loop): an injected error is escalated to a panic, which the surrounding
+// containment machinery must absorb like any other fault.
+func Fire(site string) {
+	if err := Hit(site); err != nil {
+		panic(err)
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, high-quality bijection
+// used to decorrelate the firing schedule from the hit counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

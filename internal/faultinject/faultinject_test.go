@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("disarmed site returned %v", err)
+	}
+}
+
+func TestErrorEveryNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("io.read", Fault{Mode: ModeError, Every: 3})
+	var fired int
+	for i := 0; i < 30; i++ {
+		if err := Hit("io.read"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			fired++
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("every-3rd over 30 hits fired %d times, want 10", fired)
+	}
+	if Fired("io.read") != 10 || Hits("io.read") != 30 {
+		t.Fatalf("counters fired=%d hits=%d, want 10/30", Fired("io.read"), Hits("io.read"))
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	schedule := func() []bool {
+		Arm("s", Fault{Mode: ModeError, Every: 4, Seed: 99})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Hit("s") != nil)
+		}
+		Disarm("s")
+		return out
+	}
+	a, b := schedule(), schedule()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedule differs at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("seeded 1-in-4 schedule fired %d/64 times", fired)
+	}
+}
+
+func TestPanicCarriesSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("worker", Fault{Mode: ModePanic})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok || ip.Site != "worker" {
+			t.Fatalf("recovered %v, want *InjectedPanic at worker", r)
+		}
+	}()
+	Fire("worker")
+	t.Fatal("armed panic site did not panic")
+}
+
+func TestFireEscalatesErrorToPanic(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("worker", Fault{Mode: ModeError})
+	defer func() {
+		err, ok := recover().(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("Fire at an error site should panic with the injected error")
+		}
+	}()
+	Fire("worker")
+}
+
+func TestCountCapsFirings(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("capped", Fault{Mode: ModeError, Count: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Hit("capped") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Count=2 fired %d times", fired)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("slow", Fault{Mode: ModeDelay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("conc", Fault{Mode: ModeError, Every: 7})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Hit("conc")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("conc"); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if got := Fired("conc"); got != 8000/7 {
+		t.Fatalf("fired = %d, want %d", got, 8000/7)
+	}
+}

@@ -21,13 +21,28 @@ type Directed struct {
 
 // NewDirected builds a digraph on vertices 0..n-1 from an arc list, where
 // Edge{U, V} is the arc U -> V. Duplicate arcs and self-loops are dropped.
-// It panics if an endpoint is outside [0, n).
+// It panics if an endpoint is outside [0, n); code handling untrusted input
+// should use NewDirectedChecked instead.
 func NewDirected(n int, arcs []Edge) *Directed {
+	d, err := NewDirectedChecked(n, arcs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
+}
+
+// NewDirectedChecked is NewDirected with the validation failures — negative
+// n, or an arc endpoint outside [0, n) — reported as errors instead of
+// panics, for paths that consume untrusted bytes.
+func NewDirectedChecked(n int, arcs []Edge) (*Directed, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
 	outDeg := make([]int64, n+1)
 	inDeg := make([]int64, n+1)
 	for _, e := range arcs {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			panic(fmt.Sprintf("graph: arc (%d,%d) outside vertex range [0,%d)", e.U, e.V, n))
+			return nil, fmt.Errorf("graph: arc (%d,%d) outside vertex range [0,%d)", e.U, e.V, n)
 		}
 		if e.U == e.V {
 			continue
@@ -54,7 +69,7 @@ func NewDirected(n int, arcs []Edge) *Directed {
 	}
 	d := &Directed{outOff: outDeg, outAdj: outAdj, inOff: inDeg, inAdj: inAdj}
 	d.sortAndDedup()
-	return d
+	return d, nil
 }
 
 func (d *Directed) sortAndDedup() {

@@ -44,15 +44,26 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
-// FuzzReadBinary drives the binary loader with arbitrary bytes: it must
-// reject garbage with an error, never a panic or an over-allocation crash.
+// FuzzReadBinary drives the binary loader with arbitrary bytes — v1 files
+// (no footer), v2 files (CRC32 footer), and garbage: it must reject bad
+// input with an error, never a panic or an over-allocation crash, and
+// anything accepted must satisfy the CSR invariants and survive a v2
+// re-write/re-read round trip.
 func FuzzReadBinary(f *testing.F) {
 	g := NewUndirected(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
 	var seed bytes.Buffer
-	g.WriteBinary(&seed)
+	g.WriteBinary(&seed) // v2 seed, CRC footer included
 	f.Add(seed.Bytes())
+	f.Add(v1Binary(false, 4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}}))
 	f.Add([]byte("DSDG"))
+	f.Add([]byte("DSD2"))
 	f.Add([]byte("DSDG\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("DSD2\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(func() []byte { // v2 with a flipped record bit: CRC must catch it
+		b := append([]byte(nil), seed.Bytes()...)
+		b[len(b)-6] ^= 1
+		return b
+	}())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinaryUndirected(bytes.NewReader(data))
 		if err != nil {
@@ -65,6 +76,52 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if degSum != 2*g.M() {
 			t.Fatalf("degree sum %d != 2m %d", degSum, 2*g.M())
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinaryUndirected(&buf)
+		if err != nil {
+			t.Fatalf("rejecting own v2 output: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed sizes: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// FuzzReadBinaryDirected is FuzzReadBinary for the directed reader.
+func FuzzReadBinaryDirected(f *testing.F) {
+	d := NewDirected(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	var seed bytes.Buffer
+	d.WriteBinary(&seed)
+	f.Add(seed.Bytes())
+	f.Add(v1Binary(true, 4, [][2]uint32{{0, 1}, {1, 2}}))
+	f.Add([]byte("DSD2\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinaryDirected(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var outSum, inSum int64
+		for v := 0; v < d.N(); v++ {
+			outSum += int64(d.OutDegree(int32(v)))
+			inSum += int64(d.InDegree(int32(v)))
+		}
+		if outSum != d.M() || inSum != d.M() {
+			t.Fatalf("degree sums (%d,%d) != m %d", outSum, inSum, d.M())
+		}
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := ReadBinaryDirected(&buf)
+		if err != nil {
+			t.Fatalf("rejecting own v2 output: %v", err)
+		}
+		if d2.N() != d.N() || d2.M() != d.M() {
+			t.Fatalf("round trip changed sizes: (%d,%d) -> (%d,%d)", d.N(), d.M(), d2.N(), d2.M())
 		}
 	})
 }

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// runtimeMemStats samples cumulative allocation, for asserting that a
+// rejected input could not have cost a bomb-sized allocation.
+type runtimeMemStats struct{ totalAlloc uint64 }
+
+func (m *runtimeMemStats) read() {
+	var s runtime.MemStats
+	runtime.ReadMemStats(&s)
+	m.totalAlloc = s.TotalAlloc
+}
+
+// v1Binary hand-rolls a v1-format file (no CRC footer), as written by every
+// release before the v2 format. The reader must keep loading these forever.
+func v1Binary(directed bool, n uint32, edges [][2]uint32) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("DSDG")
+	if directed {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], n)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(edges)))
+	buf.Write(hdr[:])
+	var rec [8]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:4], e[0])
+		binary.LittleEndian.PutUint32(rec[4:8], e[1])
+		buf.Write(rec[:])
+	}
+	return buf.Bytes()
+}
+
+// header forges a v1 header with arbitrary counts and no records.
+func forgedV1Header(directed bool, n uint32, m uint64) []byte {
+	b := v1Binary(directed, n, nil)
+	binary.LittleEndian.PutUint64(b[9:17], m)
+	return b
+}
+
+func TestV1FilesStillLoad(t *testing.T) {
+	b := v1Binary(false, 4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g, err := ReadBinaryUndirected(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("v1 undirected file rejected: %v", err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("v1 load: n=%d m=%d", g.N(), g.M())
+	}
+	db := v1Binary(true, 3, [][2]uint32{{0, 1}, {1, 2}, {2, 0}})
+	d, err := ReadBinaryDirected(bytes.NewReader(db))
+	if err != nil {
+		t.Fatalf("v1 directed file rejected: %v", err)
+	}
+	if d.N() != 3 || d.M() != 3 {
+		t.Fatalf("v1 directed load: n=%d m=%d", d.N(), d.M())
+	}
+}
+
+func TestV2RoundTripAndCRC(t *testing.T) {
+	g := NewUndirected(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if string(raw[:4]) != "DSD2" {
+		t.Fatalf("writer emitted magic %q, want v2", raw[:4])
+	}
+	g2, err := ReadBinaryUndirected(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("own v2 output rejected: %v", err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("v2 round trip: (%d,%d) vs (%d,%d)", g2.N(), g2.M(), g.N(), g.M())
+	}
+	// Flip one record bit such that the edge stays in range (last record's
+	// u: 3 -> 2): only the CRC can catch it.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-12] ^= 1
+	if _, err := ReadBinaryUndirected(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit flip in records passed CRC verification")
+	} else if !strings.Contains(err.Error(), "CRC32") {
+		t.Fatalf("bit flip surfaced as %v, want a CRC32 mismatch", err)
+	}
+	// Truncate the footer: must error, not load a graph missing its tail.
+	if _, err := ReadBinaryUndirected(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated v2 footer accepted")
+	}
+}
+
+func TestMalformedBinaryTable(t *testing.T) {
+	good := v1Binary(false, 4, [][2]uint32{{0, 1}, {1, 2}})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("DS")},
+		{"bad magic", []byte("NOPE1234567890123")},
+		{"truncated header", good[:9]},
+		{"truncated mid record", good[:len(good)-3]},
+		{"bad directed flag", func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 7
+			return b
+		}()},
+		{"endpoint out of range", v1Binary(false, 2, [][2]uint32{{0, 5}})},
+		{"endpoint huge", v1Binary(false, 2, [][2]uint32{{0, 0xfffffff0}})},
+		{"negative edge count", forgedV1Header(false, 4, 1<<63)},
+		{"edge count impossible for n", forgedV1Header(false, 4, 1000)},
+		{"forged multi-GB edge count", forgedV1Header(false, 1 << 20, 1<<38)},
+		{"forged giant vertex count", forgedV1Header(false, 0xffffffff, 0)},
+		{"uncorroborated vertex count", forgedV1Header(false, 1 << 30, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinaryUndirected(bytes.NewReader(tc.data)); err == nil {
+				t.Fatalf("malformed input accepted")
+			}
+		})
+	}
+}
+
+// TestForgedHeaderAllocationBounded forges the acceptance-criteria file: a
+// tiny input whose header claims a multi-gigabyte body. The reader must fail
+// with an error after at most one read chunk of speculative allocation.
+func TestForgedHeaderAllocationBounded(t *testing.T) {
+	data := forgedV1Header(false, 1<<20, 1<<38) // 17-byte file, claims 2^38 edges
+	var before, after runtimeMemStats
+	before.read()
+	_, err := ReadBinaryUndirected(bytes.NewReader(data))
+	after.read()
+	if err == nil {
+		t.Fatal("forged header accepted")
+	}
+	if grown := after.totalAlloc - before.totalAlloc; grown > 64<<20 {
+		t.Fatalf("forged header cost %d bytes of allocation, want <= 64 MiB", grown)
+	}
+}
+
+func TestCheckedBuildersReturnErrors(t *testing.T) {
+	if _, err := NewUndirectedChecked(2, []Edge{{0, 9}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewUndirectedChecked(-1, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := NewDirectedChecked(2, []Edge{{-3, 1}}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if g, err := NewUndirectedChecked(3, []Edge{{0, 1}, {1, 2}}); err != nil || g.M() != 2 {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	// The panicking builders must still panic (API compatibility).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUndirected no longer panics on bad input")
+		}
+	}()
+	NewUndirected(1, []Edge{{0, 5}})
+}
+
+func TestDirectedBinaryV2RoundTrip(t *testing.T) {
+	d := NewDirected(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	d2, err := ReadBinaryDirected(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.M() != d.M() {
+		t.Fatal("arc count mismatch")
+	}
+	corrupt := append([]byte(nil), raw...)
+	corrupt[20] ^= 0x10
+	if _, err := ReadBinaryDirected(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupted directed v2 file accepted")
+	}
+}

@@ -31,12 +31,28 @@ type Undirected struct {
 
 // NewUndirected builds a graph on vertices 0..n-1 from an edge list.
 // Self-loops and duplicate (parallel) edges are dropped; edges may be given
-// in either orientation. It panics if an endpoint is outside [0, n).
+// in either orientation. It panics if an endpoint is outside [0, n); code
+// handling untrusted input should use NewUndirectedChecked instead.
 func NewUndirected(n int, edges []Edge) *Undirected {
+	g, err := NewUndirectedChecked(n, edges)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
+}
+
+// NewUndirectedChecked is NewUndirected with the validation failures —
+// negative n, or an edge endpoint outside [0, n) — reported as errors
+// instead of panics. It is the builder every path that consumes untrusted
+// bytes (file loaders, the HTTP service) goes through.
+func NewUndirectedChecked(n int, edges []Edge) (*Undirected, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
 	deg := make([]int64, n+1)
 	for _, e := range edges {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			panic(fmt.Sprintf("graph: edge (%d,%d) outside vertex range [0,%d)", e.U, e.V, n))
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside vertex range [0,%d)", e.U, e.V, n)
 		}
 		if e.U == e.V {
 			continue
@@ -61,7 +77,7 @@ func NewUndirected(n int, edges []Edge) *Undirected {
 	}
 	g := &Undirected{offsets: offsets, adj: adj}
 	g.sortAndDedup()
-	return g
+	return g, nil
 }
 
 // sortAndDedup sorts every neighbor list and removes duplicates, compacting

@@ -6,9 +6,13 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // DefaultGrain is the smallest chunk of indices handed to a worker at a
@@ -20,6 +24,63 @@ const DefaultGrain = 1024
 
 // maxProcs is overridable in tests.
 var maxProcs = runtime.GOMAXPROCS
+
+// WorkerPanic wraps a panic raised inside a worker goroutine. The parallel
+// drivers catch worker panics and re-raise the first one on the calling
+// goroutine as a *WorkerPanic, so a solver bug unwinds the caller's stack —
+// where a recover can convert it into an error — instead of killing the
+// process from an unrecoverable goroutine. Value is the original panic value
+// and Stack the worker's stack at the panic site.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error makes a recovered *WorkerPanic usable as an error value directly
+// (the dsd entry points wrap it into their public ErrInternal chain).
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("panic in parallel worker: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.As/Is work through a recovered *WorkerPanic.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// trap captures the first panic of a worker pool.
+type trap struct {
+	p atomic.Pointer[WorkerPanic]
+}
+
+// guard runs inside each worker's defer: it records a recovered panic
+// (first one wins) instead of letting it escape the goroutine.
+func (t *trap) guard() {
+	if r := recover(); r != nil {
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+		}
+		// else: a nested parallel region already wrapped it — keep the
+		// innermost stack.
+		t.p.CompareAndSwap(nil, wp)
+	}
+}
+
+// pending reports whether a panic has been captured; sibling workers use it
+// to stop claiming new chunks once the region is doomed.
+func (t *trap) pending() bool { return t.p.Load() != nil }
+
+// rethrow re-raises the captured panic, if any, on the calling goroutine.
+// It must run after the pool's WaitGroup has drained.
+func (t *trap) rethrow() {
+	if wp := t.p.Load(); wp != nil {
+		panic(wp)
+	}
+}
 
 // Threads returns the number of worker goroutines used when p <= 0 is
 // requested: the current GOMAXPROCS setting.
@@ -41,6 +102,11 @@ func For(n, p int, body func(i int)) {
 
 // ForGrain is For with an explicit grain (chunk) size. grain <= 0 falls back
 // to DefaultGrain. Exposed so the grain-size ablation bench can sweep it.
+//
+// A panic inside body does not kill the process: workers trap it and the
+// first panic is re-raised on the calling goroutine as a *WorkerPanic
+// carrying the worker's stack. Workers that have already claimed a chunk
+// finish it; unclaimed chunks are abandoned once a panic is pending.
 func ForGrain(n, p, grain int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -53,22 +119,26 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		p = n/grain + 1
 	}
 	if p <= 1 {
+		faultinject.Fire("parallel.for.chunk")
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
+	var t trap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			defer t.guard()
 			for {
 				start := int(next.Add(int64(grain))) - grain
-				if start >= n {
+				if start >= n || t.pending() {
 					return
 				}
+				faultinject.Fire("parallel.for.chunk")
 				end := start + grain
 				if end > n {
 					end = n
@@ -80,6 +150,7 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	t.rethrow()
 }
 
 // ForBlocks runs body(lo, hi) over disjoint blocks covering [0, n), one
@@ -97,20 +168,24 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 		p = n/grain + 1
 	}
 	if p <= 1 {
+		faultinject.Fire("parallel.for.chunk")
 		body(0, n)
 		return
 	}
+	var t trap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			defer t.guard()
 			for {
 				start := int(next.Add(int64(grain))) - grain
-				if start >= n {
+				if start >= n || t.pending() {
 					return
 				}
+				faultinject.Fire("parallel.for.chunk")
 				end := start + grain
 				if end > n {
 					end = n
@@ -120,26 +195,33 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	t.rethrow()
 }
 
 // Workers runs fn(w) once for each worker id w in [0, p) and waits for all
 // of them. It is the building block for algorithms that keep explicit
-// per-thread state (e.g. PXY's per-thread cn-pair search).
+// per-thread state (e.g. PXY's per-thread cn-pair search). Like the For
+// drivers it traps worker panics and re-raises the first on the caller.
 func Workers(p int, fn func(w int)) {
 	p = Threads(p)
 	if p <= 1 {
+		faultinject.Fire("parallel.workers")
 		fn(0)
 		return
 	}
+	var t trap
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer t.guard()
+			faultinject.Fire("parallel.workers")
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	t.rethrow()
 }
 
 // MaxInt32 atomically raises *addr to v if v is larger. Returns true if the

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestChaosInjectedSolvePanics is the headline containment test: with a
+// 1-in-N panic armed inside the parallel workers, a burst of concurrent
+// solves must yield only clean 200s and structured 500 internal errors —
+// never a dropped connection or a dead process — and the server must keep
+// serving afterwards.
+func TestChaosInjectedSolvePanics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	t.Cleanup(faultinject.Reset)
+
+	// Every 4th chunk hit panics, at most 6 times total: enough firings
+	// that some requests certainly die, a cap so most certainly survive.
+	faultinject.Arm("parallel.for.chunk", faultinject.Fault{
+		Mode:  faultinject.ModePanic,
+		Every: 4,
+		Count: 6,
+	})
+
+	const burst = 32
+	type outcome struct {
+		status int
+		code   string
+	}
+	results := make(chan outcome, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct worker counts make distinct cache keys, so every
+			// request runs the solver instead of riding the first answer.
+			req := SolveRequest{Graph: "clique", Options: SolveOptions{Workers: 2 + i}}
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/solve/uds", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: transport error (server crashed?): %v", i, err)
+				results <- outcome{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var eb errorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			results <- outcome{status: resp.StatusCode, code: eb.Error.Code}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	var ok200, failed int
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok200++
+		case http.StatusInternalServerError:
+			failed++
+			if r.code != CodeInternal {
+				t.Errorf("500 with code %q, want %q", r.code, CodeInternal)
+			}
+		default:
+			t.Errorf("unexpected status %d (code %q)", r.status, r.code)
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("no request hit an injected panic (fired=%d)", faultinject.Fired("parallel.for.chunk"))
+	}
+	if ok200 == 0 {
+		t.Fatal("every request failed; the firing cap should have spared most")
+	}
+	if got := s.Metrics().Panics.Value(); got < int64(failed) {
+		t.Fatalf("panics metric = %d, want >= %d", got, failed)
+	}
+
+	// The process survived; a clean request still works.
+	faultinject.Reset()
+	var resp UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "clique"}, &resp); got != http.StatusOK {
+		t.Fatalf("post-chaos solve = %d, want 200", got)
+	}
+	if resp.Density != 1.5 {
+		t.Fatalf("post-chaos density = %v, want 1.5", resp.Density)
+	}
+}
+
+// TestChaosRegistryLoadErrors verifies load atomicity under injected
+// failures: a load that dies mid-flight is never observable in GET /graphs
+// and its name is immediately reusable once the fault clears.
+func TestChaosRegistryLoadErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Arm("registry.load", faultinject.Fault{
+		Mode:  faultinject.ModeError,
+		Every: 1,
+	})
+
+	const loaders = 8
+	var wg sync.WaitGroup
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var eb errorBody
+			req := LoadRequest{Name: fmt.Sprintf("chaos%d", i), Edges: "0 1\n1 2\n2 0\n"}
+			if got := doJSON(t, "POST", ts.URL+"/graphs", req, &eb); got != http.StatusBadRequest {
+				t.Errorf("injected-failure load %d = %d, want 400", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// No partial graph leaked into the listing.
+	var listing struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	doJSON(t, "GET", ts.URL+"/graphs", nil, &listing)
+	for _, g := range listing.Graphs {
+		if g.Name != "clique" && g.Name != "biclique" {
+			t.Fatalf("failed load leaked graph %q into the registry", g.Name)
+		}
+	}
+
+	// Names are reusable the moment the fault clears.
+	faultinject.Reset()
+	for i := 0; i < loaders; i++ {
+		var info GraphInfo
+		req := LoadRequest{Name: fmt.Sprintf("chaos%d", i), Edges: "0 1\n1 2\n2 0\n"}
+		if got := doJSON(t, "POST", ts.URL+"/graphs", req, &info); got != http.StatusCreated {
+			t.Fatalf("post-chaos reload %d = %d, want 201", i, got)
+		}
+		if info.Version != 1 {
+			t.Fatalf("reused name version = %d, want 1 (failed loads must not burn versions)", info.Version)
+		}
+	}
+}
+
+// TestChaosConcurrentSameNameLoad stretches the load window with an
+// injected delay so two loads of one name genuinely overlap: exactly one
+// wins, the loser gets a structured 409 instead of racing at publish.
+func TestChaosConcurrentSameNameLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Arm("registry.load", faultinject.Fault{
+		Mode:  faultinject.ModeDelay,
+		Every: 1,
+		Delay: 100 * time.Millisecond,
+	})
+
+	type outcome struct {
+		status int
+		code   string
+	}
+	results := make(chan outcome, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(LoadRequest{Name: "dup", Edges: "0 1\n1 2\n2 0\n"})
+			resp, err := http.Post(ts.URL+"/graphs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("load: %v", err)
+				results <- outcome{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var eb errorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			results <- outcome{status: resp.StatusCode, code: eb.Error.Code}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	var won, lost int
+	for r := range results {
+		switch r.status {
+		case http.StatusCreated:
+			won++
+		case http.StatusConflict:
+			lost++
+			if r.code != CodeGraphBusy && r.code != CodeGraphExists {
+				t.Errorf("409 with code %q, want graph_busy or graph_exists", r.code)
+			}
+		default:
+			t.Errorf("unexpected status %d (code %q)", r.status, r.code)
+		}
+	}
+	if won != 1 || lost != 1 {
+		t.Fatalf("won=%d lost=%d, want exactly one of each", won, lost)
+	}
+
+	// The winner's graph is resident and solvable.
+	var info GraphInfo
+	if got := doJSON(t, "GET", ts.URL+"/graphs/dup", nil, &info); got != http.StatusOK {
+		t.Fatalf("GET /graphs/dup = %d, want 200", got)
+	}
+}
+
+// TestReadyz covers the readiness gate: a StartUnready server is live but
+// not ready until MarkReady, matching a background startup load.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{StartUnready: true})
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("unready /healthz = %d, want 200 (liveness is unconditional)", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("unready /readyz = %d, want 503", got)
+	}
+	if s.Ready() {
+		t.Fatal("Ready() = true before MarkReady")
+	}
+	s.MarkReady()
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("ready /readyz = %d, want 200", got)
+	}
+}
+
+// TestQueueWaitExpires covers the server-side admission bound: with the
+// only slot held and a short MaxQueueWait, a queued request is shed as 503
+// overloaded with a Retry-After header instead of waiting on its client.
+func TestQueueWaitExpires(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueueWait: 60 * time.Millisecond})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.solveGate = func() {
+		once.Do(func() { close(admitted); <-release })
+	}
+	defer close(release)
+
+	go func() {
+		var resp UDSResponse
+		doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "clique", Algo: "exact"}, &resp)
+	}()
+	<-admitted
+
+	body, _ := json.Marshal(SolveRequest{Graph: "clique", Algo: "pkmc"})
+	resp, err := http.Post(ts.URL+"/solve/uds", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Code != CodeOverloaded {
+		t.Fatalf("queued request = %d %q, want 503 %q", resp.StatusCode, eb.Error.Code, CodeOverloaded)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 overloaded without a Retry-After header")
+	}
+}

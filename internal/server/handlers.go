@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"time"
@@ -139,7 +140,7 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) *apiEr
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) *apiError {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
 	}
 	writeJSON(w, http.StatusOK, infoOf(e))
 	return nil
@@ -148,7 +149,7 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) *apiErro
 // handleDeleteGraph serves DELETE /graphs/{name}.
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) *apiError {
 	if err := s.reg.Remove(r.PathValue("name")); err != nil {
-		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
 	}
 	w.WriteHeader(http.StatusNoContent)
 	return nil
@@ -183,7 +184,9 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiErr
 	}
 	switch {
 	case errors.Is(err, ErrGraphExists):
-		return &apiError{http.StatusConflict, CodeGraphExists, err.Error()}
+		return &apiError{status: http.StatusConflict, code: CodeGraphExists, message: err.Error()}
+	case errors.Is(err, ErrGraphBusy):
+		return &apiError{status: http.StatusConflict, code: CodeGraphBusy, message: err.Error(), retryAfter: 1}
 	case err != nil:
 		return errBadRequest("loading graph: " + err.Error())
 	}
@@ -229,16 +232,25 @@ func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context,
 	return context.WithTimeout(r.Context(), timeout)
 }
 
-// solveError maps a solver failure to a structured response.
-func solveError(ctx context.Context, err error) *apiError {
+// solveError maps a solver failure to a structured response. A recovered
+// solver panic (dsd.ErrInternal) becomes a 500 internal error and bumps the
+// panic counter — the request fails, the process keeps serving.
+func (s *Server) solveError(ctx context.Context, err error) *apiError {
 	switch {
 	case errors.Is(err, dsd.ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded):
-		return &apiError{http.StatusGatewayTimeout, CodeDeadlineExceeded,
-			"solver exceeded the request deadline: " + err.Error()}
+		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
+			message: "solver exceeded the request deadline: " + err.Error()}
 	case errors.Is(err, dsd.ErrCanceled):
-		return &apiError{499, CodeCanceled, "request canceled: " + err.Error()}
+		return &apiError{status: 499, code: CodeCanceled, message: "request canceled: " + err.Error()}
+	case errors.Is(err, dsd.ErrInternal):
+		s.metrics.Panics.Add(1)
+		var pe *dsd.PanicError
+		if errors.As(err, &pe) {
+			log.Printf("server: solver panic (contained): %v\n%s", pe.Value, pe.Stack)
+		}
+		return &apiError{status: http.StatusInternalServerError, code: CodeInternal, message: err.Error()}
 	default:
-		return &apiError{http.StatusInternalServerError, CodeInternal, err.Error()}
+		return &apiError{status: http.StatusInternalServerError, code: CodeInternal, message: err.Error()}
 	}
 }
 
@@ -250,15 +262,13 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	}
 	e, err := s.reg.Get(req.Graph)
 	if err != nil {
-		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
 	}
 	if e.Directed {
-		return &apiError{http.StatusBadRequest, CodeWrongFamily,
-			fmt.Sprintf("graph %q is directed; use /solve/dds", e.Name)}
+		return &apiError{status: http.StatusBadRequest, code: CodeWrongFamily, message: fmt.Sprintf("graph %q is directed; use /solve/dds", e.Name)}
 	}
 	if !validAlgo(req.Algo, dsd.UDSAlgorithms()) {
-		return &apiError{http.StatusBadRequest, CodeUnknownAlgo,
-			fmt.Sprintf("unknown UDS algorithm %q (valid: %v)", req.Algo, dsd.UDSAlgorithms())}
+		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown UDS algorithm %q (valid: %v)", req.Algo, dsd.UDSAlgorithms())}
 	}
 	key := cacheKey(e, "uds", req.Algo, req.Options)
 	start := time.Now()
@@ -287,7 +297,7 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 		Ctx:        ctx,
 	})
 	if err != nil {
-		return solveError(ctx, err)
+		return s.solveError(ctx, err)
 	}
 	resp := UDSResponse{
 		Graph:      e.Name,
@@ -315,15 +325,13 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	}
 	e, err := s.reg.Get(req.Graph)
 	if err != nil {
-		return &apiError{http.StatusNotFound, CodeUnknownGraph, err.Error()}
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
 	}
 	if !e.Directed {
-		return &apiError{http.StatusBadRequest, CodeWrongFamily,
-			fmt.Sprintf("graph %q is undirected; use /solve/uds", e.Name)}
+		return &apiError{status: http.StatusBadRequest, code: CodeWrongFamily, message: fmt.Sprintf("graph %q is undirected; use /solve/uds", e.Name)}
 	}
 	if !validAlgo(req.Algo, dsd.DDSAlgorithms()) {
-		return &apiError{http.StatusBadRequest, CodeUnknownAlgo,
-			fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
+		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
 	}
 	key := cacheKey(e, "dds", req.Algo, req.Options)
 	start := time.Now()
@@ -352,7 +360,7 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 		Ctx:        ctx,
 	})
 	if err != nil {
-		return solveError(ctx, err)
+		return s.solveError(ctx, err)
 	}
 	resp := DDSResponse{
 		Graph:      e.Name,

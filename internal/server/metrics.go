@@ -22,8 +22,13 @@ type Metrics struct {
 	LatencyMsSum expvar.Map // per route: cumulative handler milliseconds
 	LatencyMsMax expvar.Map // per route: worst single request
 	Active       expvar.Int // requests currently inside a handler
-	CacheHits    expvar.Int
-	CacheMisses  expvar.Int
+	// Panics counts contained solver/handler panics: recovered solve
+	// panics surfaced as structured internal errors plus last-resort
+	// recoveries in the route middleware. A nonzero value means a bug was
+	// survived — alert on it, the process did not.
+	Panics      expvar.Int
+	CacheHits   expvar.Int
+	CacheMisses expvar.Int
 
 	maxMu sync.Mutex // LatencyMsMax read-modify-write
 }
@@ -72,10 +77,10 @@ func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
 // snapshot renders the metrics as one JSON object (expvar vars stringify
 // to JSON by contract).
 func (m *Metrics) snapshot() string {
-	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"cache_hits":%s,"cache_misses":%s}`,
+	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s}`,
 		m.Requests.String(), m.ErrorsByCode.String(),
 		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
-		m.Active.String(), m.CacheHits.String(), m.CacheMisses.String())
+		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String())
 }
 
 // rawJSON marks an already-encoded JSON string so expvar.Func does not

@@ -2,7 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -13,6 +16,7 @@ const (
 	CodeBadRequest       = "bad_request"
 	CodeUnknownGraph     = "unknown_graph"
 	CodeGraphExists      = "graph_exists"
+	CodeGraphBusy        = "graph_busy"
 	CodeUnknownAlgo      = "unknown_algo"
 	CodeWrongFamily      = "wrong_family"
 	CodeDeadlineExceeded = "deadline_exceeded"
@@ -26,11 +30,16 @@ type apiError struct {
 	status  int
 	code    string
 	message string
+	// retryAfter, when positive, emits a Retry-After header (seconds) —
+	// set on overload rejections so well-behaved clients back off.
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.message }
 
-func errBadRequest(msg string) *apiError { return &apiError{http.StatusBadRequest, CodeBadRequest, msg} }
+func errBadRequest(msg string) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, message: msg}
+}
 
 // errorBody is the JSON wire shape of a failed request.
 type errorBody struct {
@@ -43,6 +52,9 @@ type errorBody struct {
 // writeError emits the structured error response and counts it.
 func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	s.metrics.Error(e.code)
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	var body errorBody
 	body.Error.Code = e.code
 	body.Error.Message = e.message
@@ -61,9 +73,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // apiHandler is a handler that reports failure as a structured error.
 type apiHandler func(w http.ResponseWriter, r *http.Request) *apiError
 
-// route wraps an apiHandler with the metrics instrumentation: the
-// active-request gauge brackets the handler, and completion records the
-// per-route count and latency under the route label.
+// route wraps an apiHandler with the metrics instrumentation and the
+// last-resort panic barrier: the active-request gauge brackets the handler,
+// completion records the per-route count and latency, and a panic escaping
+// the handler (solver panics are already converted to errors by the dsd
+// entry points — this catches everything else) is recovered into a
+// structured 500 so one poisoned request cannot take the process down.
 func (s *Server) route(label string, h apiHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Active.Add(1)
@@ -71,6 +86,16 @@ func (s *Server) route(label string, h apiHandler) http.Handler {
 		defer func() {
 			s.metrics.Observe(label, time.Since(start))
 			s.metrics.Active.Add(-1)
+		}()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Panics.Add(1)
+				log.Printf("server: recovered panic in %s: %v", label, rec)
+				// If the handler already wrote a header this is a no-op
+				// write on a half-sent response; nothing better exists.
+				s.writeError(w, &apiError{http.StatusInternalServerError, CodeInternal,
+					fmt.Sprintf("internal error (recovered panic): %v", rec), 0})
+			}
 		}()
 		if err := h(w, r); err != nil {
 			s.writeError(w, err)
@@ -80,19 +105,42 @@ func (s *Server) route(label string, h apiHandler) http.Handler {
 
 // acquire is the admission-control gate for the expensive handlers (solve
 // misses and graph loads): the request either takes a semaphore slot or
-// waits for one until its context dies, at which point it is rejected as
-// overloaded. The semaphore is sized to GOMAXPROCS by default — the
+// waits for one — bounded by Config.MaxQueueWait — and is rejected as
+// overloaded (503 with a Retry-After) when the wait expires or its context
+// dies first. The semaphore is sized to GOMAXPROCS by default — the
 // solvers are CPU-bound and already parallel internally, so stacking more
 // concurrent solves than cores only adds memory pressure and tail latency.
-// Cache hits never pass through here; repeated queries on an unchanged
-// graph stay O(1) even under a full queue.
+// Bounding the queue wait keeps a saturated server shedding load instead of
+// accumulating an unbounded convoy of goroutines that will all time out
+// anyway. Cache hits never pass through here; repeated queries on an
+// unchanged graph stay O(1) even under a full queue.
 func (s *Server) acquire(r *http.Request) *apiError {
+	// Fast path: a free slot needs no timer.
 	select {
 	case s.sem <- struct{}{}:
 		return nil
+	default:
+	}
+	wait := s.cfg.MaxQueueWait
+	retry := int(wait / (2 * time.Second))
+	if retry < 1 {
+		retry = 1
+	}
+	var expired <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-expired:
+		return &apiError{http.StatusServiceUnavailable, CodeOverloaded,
+			fmt.Sprintf("server saturated: no solver slot within %v", wait), retry}
 	case <-r.Context().Done():
 		return &apiError{http.StatusServiceUnavailable, CodeOverloaded,
-			"request expired while queued for a solver slot"}
+			"request expired while queued for a solver slot", retry}
 	}
 }
 

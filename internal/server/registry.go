@@ -20,12 +20,17 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/faultinject"
 )
 
 // Registry errors, matched by the handlers to pick status codes.
 var (
 	ErrUnknownGraph = errors.New("unknown graph")
 	ErrGraphExists  = errors.New("graph already loaded")
+	// ErrGraphBusy rejects a load for a name whose previous load is still
+	// in flight — the loser of a race, told to retry rather than burn a
+	// second parse of the same data.
+	ErrGraphBusy = errors.New("graph load in progress")
 )
 
 // GraphEntry is one resident graph. Entries are immutable once published —
@@ -49,9 +54,18 @@ type GraphEntry struct {
 
 // Registry holds the named resident graphs behind a RWMutex: lookups are
 // read-locked (the solve hot path), loads write-locked.
+//
+// Loads are atomic from the outside: a name is reserved (pending) for the
+// duration of the parse and an entry becomes visible only on success. A
+// load that fails — I/O error, malformed bytes, injected fault, or even a
+// panic — leaves no trace and releases the name for reuse.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*GraphEntry
+	// pending holds names whose load is in flight, so concurrent loads of
+	// one name conflict early instead of racing at publish, and a
+	// mid-load graph is never observable via Get/List.
+	pending map[string]struct{}
 	// versions survives Remove so a re-added name keeps climbing and stale
 	// cache entries stay unreachable.
 	versions map[string]int64
@@ -62,6 +76,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		entries:  map[string]*GraphEntry{},
+		pending:  map[string]struct{}{},
 		versions: map[string]int64{},
 		now:      time.Now,
 	}
@@ -112,11 +127,13 @@ func (r *Registry) Remove(name string) error {
 // LoadFile loads a graph file (text edge list or the compact binary format,
 // either gzipped — the same sniffing as the CLIs) and registers it under
 // name. With replace false an existing name is an ErrGraphExists error;
-// with replace true the entry is swapped in under a bumped version.
-func (r *Registry) LoadFile(name, path string, directed, replace bool) (*GraphEntry, error) {
+// with replace true the entry is swapped in under a bumped version. A load
+// that fails partway is never observable and releases the name.
+func (r *Registry) LoadFile(name, path string, directed, replace bool) (_ *GraphEntry, err error) {
 	if err := r.reserve(name, replace); err != nil {
 		return nil, err
 	}
+	defer r.settle(name, &err)
 	e := &GraphEntry{Name: name, Directed: directed, Source: path}
 	if directed {
 		d, err := dsd.LoadDigraph(path)
@@ -131,15 +148,19 @@ func (r *Registry) LoadFile(name, path string, directed, replace bool) (*GraphEn
 		}
 		e.G, e.Stats = g, g.Stats()
 	}
+	if err := faultinject.Hit("registry.load"); err != nil {
+		return nil, err
+	}
 	return r.publish(e, replace)
 }
 
 // LoadReader parses a text edge list from src and registers it under name,
-// with the same replace semantics as LoadFile.
-func (r *Registry) LoadReader(name string, src io.Reader, directed, replace bool) (*GraphEntry, error) {
+// with the same replace and failure-atomicity semantics as LoadFile.
+func (r *Registry) LoadReader(name string, src io.Reader, directed, replace bool) (_ *GraphEntry, err error) {
 	if err := r.reserve(name, replace); err != nil {
 		return nil, err
 	}
+	defer r.settle(name, &err)
 	e := &GraphEntry{Name: name, Directed: directed, Source: "inline"}
 	if directed {
 		d, err := dsd.ReadDigraph(src)
@@ -154,48 +175,75 @@ func (r *Registry) LoadReader(name string, src io.Reader, directed, replace bool
 		}
 		e.G, e.Stats = g, g.Stats()
 	}
+	if err := faultinject.Hit("registry.load"); err != nil {
+		return nil, err
+	}
 	return r.publish(e, replace)
 }
 
 // PutGraph registers an already-built undirected graph (programmatic
 // loading: generators, tests, embedding applications).
-func (r *Registry) PutGraph(name string, g *dsd.Graph, source string, replace bool) (*GraphEntry, error) {
+func (r *Registry) PutGraph(name string, g *dsd.Graph, source string, replace bool) (_ *GraphEntry, err error) {
 	if err := r.reserve(name, replace); err != nil {
 		return nil, err
 	}
+	defer r.settle(name, &err)
 	return r.publish(&GraphEntry{Name: name, Source: source, G: g, Stats: g.Stats()}, replace)
 }
 
 // PutDigraph is PutGraph for digraphs.
-func (r *Registry) PutDigraph(name string, d *dsd.Digraph, source string, replace bool) (*GraphEntry, error) {
+func (r *Registry) PutDigraph(name string, d *dsd.Digraph, source string, replace bool) (_ *GraphEntry, err error) {
 	if err := r.reserve(name, replace); err != nil {
 		return nil, err
 	}
+	defer r.settle(name, &err)
 	return r.publish(&GraphEntry{Name: name, Directed: true, Source: source, D: d, Stats: d.Stats()}, replace)
 }
 
-// reserve pre-checks the name so a doomed load fails before the (possibly
-// expensive) parse. The check is repeated under the write lock in publish —
-// two racing loads of the same name resolve there.
+// reserve claims name for one in-flight load: a resident entry (without
+// replace) is ErrGraphExists, another in-flight load of the same name is
+// ErrGraphBusy. The claim is dropped by settle on failure or consumed by
+// publish on success.
 func (r *Registry) reserve(name string, replace bool) error {
 	if name == "" {
 		return errors.New("graph name must be non-empty")
 	}
-	if replace {
-		return nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pending[name]; ok {
+		return fmt.Errorf("%w: %q", ErrGraphBusy, name)
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if _, ok := r.entries[name]; ok {
+	if _, ok := r.entries[name]; ok && !replace {
 		return fmt.Errorf("%w: %q", ErrGraphExists, name)
 	}
+	r.pending[name] = struct{}{}
 	return nil
 }
 
-// publish installs the entry under the next version for its name.
+// settle releases a failed load's reservation. It runs deferred, so it
+// also fires when the parse panics: the reservation is dropped and the
+// panic re-raised untouched for the caller's barrier (the server's route
+// middleware) — the name must not stay poisoned either way. On success
+// publish has already consumed the reservation and *err is nil.
+func (r *Registry) settle(name string, err *error) {
+	rec := recover()
+	if *err == nil && rec == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.pending, name)
+	r.mu.Unlock()
+	if rec != nil {
+		panic(rec)
+	}
+}
+
+// publish installs the entry under the next version for its name and
+// consumes its reservation.
 func (r *Registry) publish(e *GraphEntry, replace bool) (*GraphEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	delete(r.pending, e.Name)
 	if _, ok := r.entries[e.Name]; ok && !replace {
 		return nil, fmt.Errorf("%w: %q", ErrGraphExists, e.Name)
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func TestRegistryVersioning(t *testing.T) {
@@ -64,6 +66,41 @@ func TestRegistryValidation(t *testing.T) {
 	}
 	if err := r.Remove("never"); !errors.Is(err, ErrUnknownGraph) {
 		t.Fatalf("Remove unknown err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestRegistryPanicDuringLoad exercises settle's panic path: a load that
+// panics mid-flight re-raises for the caller's barrier but releases its
+// reservation, so the name is neither resident nor poisoned.
+func TestRegistryPanicDuringLoad(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	r := NewRegistry()
+
+	faultinject.Arm("registry.load", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		r.LoadReader("g", strings.NewReader("0 1\n"), false, false)
+	}()
+	ip, ok := recovered.(*faultinject.InjectedPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *faultinject.InjectedPanic re-raised", recovered, recovered)
+	}
+	if ip.Site != "registry.load" {
+		t.Fatalf("panic site = %q, want registry.load", ip.Site)
+	}
+
+	// Nothing published, name free again.
+	if _, err := r.Get("g"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("Get after panicked load err = %v, want ErrUnknownGraph", err)
+	}
+	faultinject.Reset()
+	e, err := r.LoadReader("g", strings.NewReader("0 1\n"), false, false)
+	if err != nil {
+		t.Fatalf("name poisoned by panicked load: %v", err)
+	}
+	if e.Version != 1 {
+		t.Fatalf("version = %d, want 1 (panicked load must not burn a version)", e.Version)
 	}
 }
 

@@ -3,8 +3,13 @@ package server
 import (
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
+
+// DefaultMaxQueueWait bounds how long an admitted-but-queued request waits
+// for a solver slot before being shed as overloaded.
+const DefaultMaxQueueWait = 30 * time.Second
 
 // Config tunes a Server. The zero value is a sensible production setup:
 // GOMAXPROCS concurrent solves, a 256-entry result cache, no default
@@ -22,6 +27,15 @@ type Config struct {
 	// MaxTimeout caps every per-request deadline (and imposes one on
 	// requests without any); 0 means uncapped.
 	MaxTimeout time.Duration
+	// MaxQueueWait bounds how long a request waits for a solver slot
+	// before a 503 overloaded rejection (with a Retry-After header); 0
+	// means DefaultMaxQueueWait, negative means wait as long as the
+	// request context lives.
+	MaxQueueWait time.Duration
+	// StartUnready makes GET /readyz report 503 until MarkReady is called
+	// — for servers that load graphs in the background at startup.
+	// /healthz is live either way. The default (false) is ready at birth.
+	StartUnready bool
 	// PublishExpvar also registers the metrics in the process-global
 	// expvar registry (first server in the process wins). The per-server
 	// /debug/vars endpoint works either way.
@@ -40,6 +54,7 @@ type Server struct {
 	metrics *Metrics
 	sem     chan struct{}
 	mux     *http.ServeMux
+	ready   atomic.Bool
 
 	// solveGate, when set (tests only), runs inside the solve handlers
 	// after admission and before the solver call.
@@ -53,6 +68,11 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 256
+	}
+	if cfg.MaxQueueWait == 0 {
+		cfg.MaxQueueWait = DefaultMaxQueueWait
+	} else if cfg.MaxQueueWait < 0 {
+		cfg.MaxQueueWait = 0 // acquire: no timer, wait on the request context
 	}
 	m := NewMetrics()
 	if cfg.PublishExpvar {
@@ -77,8 +97,28 @@ func New(cfg Config) *Server {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
+	// /readyz is the load-balancer gate: live (healthz) from the first
+	// listen, ready only once startup graph loads have landed, so traffic
+	// is not routed to a replica that would 404 every named graph.
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("loading\n"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	s.ready.Store(!cfg.StartUnready)
 	return s
 }
+
+// MarkReady flips /readyz to 200 — called once background startup loading
+// completes (no-op for servers constructed ready).
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Handler returns the root handler for mounting on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }

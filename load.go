@@ -62,10 +62,11 @@ func openSniffed(path string) (*bufio.Reader, func() error, error) {
 	return br, f.Close, nil
 }
 
-// isBinary peeks for the binary-format magic without consuming it.
+// isBinary peeks for the binary-format magic without consuming it ("DSDG"
+// is the v1 format, "DSD2" the CRC-tailed v2).
 func isBinary(r *bufio.Reader) bool {
 	magic, err := r.Peek(4)
-	return err == nil && string(magic) == "DSDG"
+	return err == nil && (string(magic) == "DSDG" || string(magic) == "DSD2")
 }
 
 // SaveGraph writes g to path; a ".gz" suffix selects gzip compression and

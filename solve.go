@@ -127,7 +127,13 @@ func DDSAlgorithms() []Algo {
 
 // SolveUDS runs the chosen undirected densest-subgraph algorithm. An empty
 // algo selects PKMC, the paper's contribution.
-func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
+//
+// A panic inside the solver (including panics raised in parallel worker
+// goroutines, which internal/parallel re-raises here) is recovered and
+// returned as a *PanicError wrapping ErrInternal — a solver bug degrades to
+// a failed call, not a dead process.
+func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
+	defer recoverToError(&err)
 	if algo == "" {
 		algo = AlgoPKMC
 	}
@@ -137,7 +143,6 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
 	}
 	p := opts.Workers
 	var r uds.Result
-	var err error
 	switch algo {
 	case AlgoPKMC:
 		r = uds.PKMC(g.g, p)
@@ -177,8 +182,10 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (Result, error) {
 }
 
 // SolveDDS runs the chosen directed densest-subgraph algorithm. An empty
-// algo selects PWC, the paper's contribution.
-func SolveDDS(d *Digraph, algo Algo, opts Options) (DirectedResult, error) {
+// algo selects PWC, the paper's contribution. Solver panics are recovered
+// into ErrInternal exactly as in SolveUDS.
+func SolveDDS(d *Digraph, algo Algo, opts Options) (res DirectedResult, err error) {
+	defer recoverToError(&err)
 	if algo == "" {
 		algo = AlgoPWC
 	}
@@ -200,7 +207,6 @@ func SolveDDS(d *Digraph, algo Algo, opts Options) (DirectedResult, error) {
 	}
 	p := opts.Workers
 	var r dds.Result
-	var err error
 	switch algo {
 	case AlgoPWC:
 		r = dds.PWC(d.d, p)
