@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz fuzz-smoke bench repro figures datasets examples serve clean
+.PHONY: all build vet test race cover fuzz fuzz-smoke bench bench-json repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, and the HTTP service.
@@ -44,6 +44,13 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
 
+# Machine-readable benchmark artifact: a versioned BENCH_<timestamp>.json
+# with run metadata, measurement rows, and full PKMC/PWC solver traces
+# (schema documented in DESIGN.md). Tiny scale so it finishes in seconds;
+# raise -scale for a real measurement run.
+bench-json:
+	$(GO) run ./cmd/dsdbench -json -exp datasets -scale 0.01
+
 # Regenerate every table and figure of the paper's evaluation as text
 # tables (EXPERIMENTS.md documents the expected shapes).
 repro:
@@ -75,4 +82,4 @@ serve:
 	$(GO) run ./cmd/dsdserver -addr :8080 -load pt=data/PT.txt
 
 clean:
-	rm -rf data test_output.txt bench_output.txt
+	rm -rf data BENCH_*.json

@@ -7,18 +7,25 @@
 //	dsdbench -exp exp1,exp2           # selected experiments
 //	dsdbench -exp exp5 -scale 0.25 -budget 60s -p 4
 //	dsdbench -exp datasets            # just Tables 4 and 5
+//	dsdbench -json -exp datasets -scale 0.01   # machine-readable artifact
 //
 // Experiments: datasets (Tables 4/5), exp1 (Fig 5), exp2 (Table 6),
 // exp3 (Fig 6), exp4 (Fig 7), exp5 (Fig 8), exp6 (Table 7), exp7 (Fig 9),
 // exp8 (Fig 10), ratios (approximation quality vs exact).
+//
+// -json switches from rendered tables to the versioned benchmark artifact:
+// a BENCH_<timestamp>.json file (schema_version, run metadata, measurement
+// rows, and full PKMC/PWC solver traces with per-phase timings and
+// iteration logs) written to -out (default "."). The schema is documented
+// in DESIGN.md.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -41,7 +48,8 @@ func run(args []string, w io.Writer) error {
 		budget  = fs.Duration("budget", 30*time.Second, "per-run budget for slow baselines")
 		threads = fs.String("threads", "", "comma-separated thread sweep for exp3/exp7 (default 1,2,4,8)")
 		chart   = fs.Bool("chart", false, "render figures as ASCII charts instead of tables")
-		asJSON  = fs.Bool("json", false, "emit raw measurement rows as JSON (overrides -chart)")
+		asJSON  = fs.Bool("json", false, "write a versioned BENCH_<timestamp>.json report instead of tables (overrides -chart)")
+		outDir  = fs.String("out", ".", "directory for the -json report file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,11 +75,14 @@ func run(args []string, w io.Writer) error {
 
 	if *asJSON {
 		var all []bench.Row
+		var ran []string
 		collect := func(name string, f func(bench.Config) []bench.Row) {
 			if run(name) {
 				all = append(all, f(cfg)...)
+				ran = append(ran, name)
 			}
 		}
+		collect("datasets", bench.DatasetRows)
 		collect("exp1", bench.Exp1)
 		collect("exp2", bench.Exp2)
 		collect("exp3", bench.Exp3)
@@ -83,10 +94,24 @@ func run(args []string, w io.Writer) error {
 		collect("ratios", bench.Ratios)
 		if selected["extensions"] {
 			all = append(all, bench.Extensions(cfg)...)
+			ran = append(ran, "extensions")
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(all)
+		now := time.Now()
+		report := bench.NewReport(cfg, ran, all, now)
+		path := filepath.Join(*outDir, bench.ReportFilename(now))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteReport(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d rows, %d traces)\n", path, len(report.Rows), len(report.Traces))
+		return nil
 	}
 
 	if run("datasets") {

@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestRunDatasetsOnly(t *testing.T) {
@@ -76,18 +80,36 @@ func TestRunChartMode(t *testing.T) {
 }
 
 func TestRunJSONMode(t *testing.T) {
+	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-exp", "exp2", "-scale", "0.005", "-json"}, &out); err != nil {
+	if err := run([]string{"-exp", "exp2", "-scale", "0.005", "-json", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
-	var rows []map[string]any
-	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
-		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("artifact files = %v (err %v), want exactly one", matches, err)
 	}
-	if len(rows) != 18 {
-		t.Fatalf("rows = %d, want 18 (6 datasets x 3 algorithms)", len(rows))
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
 	}
-	if rows[0]["Algorithm"] == "" || rows[0]["Dataset"] == "" {
-		t.Fatalf("row shape: %v", rows[0])
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.SchemaVersion != bench.SchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", report.SchemaVersion, bench.SchemaVersion)
+	}
+	if len(report.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18 (6 datasets x 3 algorithms)", len(report.Rows))
+	}
+	if report.Rows[0].Algorithm == "" || report.Rows[0].Dataset == "" {
+		t.Fatalf("row shape: %+v", report.Rows[0])
+	}
+	if len(report.Traces) != 2 {
+		t.Fatalf("traces = %d, want PKMC and PWC", len(report.Traces))
+	}
+	if !strings.Contains(out.String(), matches[0]) {
+		t.Fatalf("run did not announce the artifact path:\n%s", out.String())
 	}
 }

@@ -9,6 +9,7 @@
 //	dsdserver [-addr :8080] [-load name=path[,directed]]...
 //	          [-max-concurrent N] [-cache N] [-max-queue-wait 30s]
 //	          [-default-timeout 0] [-max-timeout 0] [-drain 30s]
+//	          [-pprof] [-trace-phases]
 //
 // Endpoints:
 //
@@ -18,7 +19,9 @@
 //	DELETE /graphs/{name}     drop a graph
 //	POST   /solve/uds         {"graph", "algo", "options"} -> densest subgraph
 //	POST   /solve/dds         {"graph", "algo", "options"} -> densest (S, T)
-//	GET    /debug/vars        expvar metrics (requests, latency, cache, active, panics)
+//	GET    /debug/vars        expvar metrics (requests, latency, cache, active, panics,
+//	                          per-graph/per-algo solves, solve-latency histogram, phase times)
+//	GET    /debug/pprof/      profiling endpoints (-pprof only)
 //	GET    /healthz           liveness probe
 //	GET    /readyz            readiness probe (503 until -load graphs are resident)
 //
@@ -59,6 +62,8 @@ type options struct {
 	maxTO         time.Duration
 	maxQueueWait  time.Duration
 	drain         time.Duration
+	pprof         bool
+	tracePhases   bool
 }
 
 func main() {
@@ -85,6 +90,8 @@ func parseArgs(args []string) (*options, error) {
 	fs.DurationVar(&o.maxTO, "max-timeout", 0, "cap on per-request deadlines (0 = uncapped)")
 	fs.DurationVar(&o.maxQueueWait, "max-queue-wait", 0, "how long a request may queue for a solver slot before a 503 (0 = 30s, negative = unbounded)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain window")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+	fs.BoolVar(&o.tracePhases, "trace-phases", false, "trace every solve and export per-phase wall times at /debug/vars")
 	fs.Func("load", "graph to preload, name=path[,directed] (repeatable)", func(v string) error {
 		spec, err := parseLoadSpec(v)
 		if err != nil {
@@ -129,6 +136,8 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 		// load balancer never routes to a replica that would 404 its graphs.
 		StartUnready:  len(o.loads) > 0,
 		PublishExpvar: true,
+		EnablePprof:   o.pprof,
+		TracePhases:   o.tracePhases,
 	})
 
 	// Listen before loading: liveness and diagnostics are reachable while

@@ -1,27 +1,3 @@
-// Package dsd is a scalable densest-subgraph discovery library: a Go
-// reproduction of "Scalable Algorithms for Densest Subgraph Discovery"
-// (Luo, Tang, Fang, Ma, Zhou — ICDE 2023).
-//
-// It solves the two classic problems:
-//
-//   - UDS (undirected): find S maximizing |E(S)| / |S|;
-//   - DDS (directed): find (S, T) maximizing |E(S,T)| / sqrt(|S|·|T|);
-//
-// with the paper's parallel 2-approximation algorithms as defaults — PKMC
-// (k*-core via h-index sweeps with the Theorem-1 early stop) for UDS and
-// PWC (the [x*, y*]-core extracted from one w*-induced subgraph
-// decomposition) for DDS — plus every baseline the paper compares against,
-// and exact flow-based solvers for small graphs.
-//
-// Quickstart:
-//
-//	g := dsd.NewGraph(4, []dsd.Edge{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
-//	res, _ := dsd.SolveUDS(g, dsd.AlgoPKMC, dsd.Options{})
-//	fmt.Println(res.Density, res.Vertices) // the triangle, density 1
-//
-// All solvers run on the shared-memory model with a configurable worker
-// count (Options.Workers; 0 means GOMAXPROCS), mirroring the paper's
-// OpenMP implementation.
 package dsd
 
 import (

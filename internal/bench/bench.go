@@ -1,15 +1,3 @@
-// Package bench is the experiment harness that regenerates every table and
-// figure of the paper's evaluation (Section VI) on the synthetic scale
-// models: Tables 4/5 (datasets), Exp-1..4 for UDS (Fig. 5, Table 6, Fig. 6,
-// Fig. 7) and Exp-5..8 for DDS (Fig. 8, Table 7, Fig. 9, Fig. 10), plus an
-// extra approximation-ratio experiment the paper defers to prior work.
-//
-// Every experiment returns machine-readable rows and renders the same
-// rows/series the paper reports. Absolute times are not comparable to the
-// paper's dual-Xeon testbed — the scale models are ~1/1000 of the original
-// datasets — but the comparison shape (who wins, by what rough factor,
-// where baselines blow the budget) is the reproduction target; see
-// EXPERIMENTS.md.
 package bench
 
 import (
@@ -57,16 +45,18 @@ func (c Config) withDefaults() Config {
 }
 
 // Row is one measurement: an algorithm run on a dataset under a parameter.
+// The JSON tags are the wire names of the BENCH_*.json report (see Report);
+// they are part of the schema and change only with SchemaVersion.
 type Row struct {
-	Experiment string
-	Dataset    string
-	Algorithm  string
-	Param      string // threads ("p=4"), fraction ("20%"), or empty
-	Seconds    float64
-	TimedOut   bool
-	Density    float64
-	Iterations int
-	Extra      map[string]int64 // experiment-specific counters
+	Experiment string           `json:"experiment"`
+	Dataset    string           `json:"dataset"`
+	Algorithm  string           `json:"algorithm"`
+	Param      string           `json:"param,omitempty"` // threads ("p=4"), fraction ("20%"), or empty
+	Seconds    float64          `json:"seconds"`
+	TimedOut   bool             `json:"timed_out,omitempty"`
+	Density    float64          `json:"density"`
+	Iterations int              `json:"iterations,omitempty"`
+	Extra      map[string]int64 `json:"extra,omitempty"` // experiment-specific counters
 }
 
 // timeIt measures one run.

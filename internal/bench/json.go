@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/dds"
+	"repro/internal/gen"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/internal/uds"
+)
+
+// SchemaVersion identifies the BENCH_*.json report layout. Bump it on any
+// breaking change to Report, Row, or TraceEntry wire names — downstream
+// tooling (CI artifact checks, plotting scripts) keys on it.
+const SchemaVersion = 1
+
+// Report is the machine-readable benchmark artifact written by
+// `dsdbench -json`: run metadata, the measurement rows of the selected
+// experiments, and one full solver trace per flagship algorithm so the
+// convergence behavior (phase split, h-index iteration log, early stop) is
+// archived next to the timings. The schema is documented in DESIGN.md.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"` // RFC 3339, UTC
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+
+	Scale    float64  `json:"scale"`
+	Workers  int      `json:"workers"` // 0 = GOMAXPROCS
+	BudgetMs int64    `json:"budget_ms"`
+	Selected []string `json:"experiments"`
+
+	Rows   []Row        `json:"rows"`
+	Traces []TraceEntry `json:"traces"`
+}
+
+// TraceEntry archives one traced solver run.
+type TraceEntry struct {
+	Dataset   string       `json:"dataset"`
+	Algorithm string       `json:"algorithm"`
+	Seconds   float64      `json:"seconds"`
+	Density   float64      `json:"density"`
+	Trace     *trace.Trace `json:"trace"`
+}
+
+// NewReport assembles the artifact: metadata from the running binary,
+// the caller's measurement rows, and freshly collected convergence traces.
+// generatedAt is injected so tests stay deterministic.
+func NewReport(cfg Config, selected []string, rows []Row, generatedAt time.Time) Report {
+	cfg = cfg.withDefaults()
+	return Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   generatedAt.UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Scale:         cfg.Scale,
+		Workers:       cfg.Workers,
+		BudgetMs:      cfg.Budget.Milliseconds(),
+		Selected:      selected,
+		Rows:          rows,
+		Traces:        CollectTraces(cfg),
+	}
+}
+
+// CollectTraces runs the two flagship solvers with full observability on
+// the smallest catalog models — PKMC (Algorithm 2) on PT, PWC (Algorithm 4)
+// on AM — and returns their traces: per-phase wall times, the PKMC h-index
+// iteration log with its Theorem-1 early stop, PWC's Table-7 arc counters,
+// and the parallel-runtime work counters of each run.
+func CollectTraces(cfg Config) []TraceEntry {
+	cfg = cfg.withDefaults()
+	var out []TraceEntry
+
+	pt := gen.UndirectedCatalog()[0]
+	g := pt.BuildUndirected(cfg.Scale)
+	tr := &trace.Trace{}
+	var udsRes uds.Result
+	sec := tracedRun(tr, func() { udsRes = uds.PKMCTraced(g, cfg.Workers, tr) })
+	out = append(out, TraceEntry{
+		Dataset: pt.Abbr, Algorithm: udsRes.Algorithm, Seconds: sec,
+		Density: udsRes.Density, Trace: tr,
+	})
+
+	am := gen.DirectedCatalog()[0]
+	d := am.BuildDirected(cfg.Scale)
+	tr = &trace.Trace{}
+	var ddsRes dds.Result
+	sec = tracedRun(tr, func() { ddsRes = dds.PWCTraced(d, cfg.Workers, tr) })
+	out = append(out, TraceEntry{
+		Dataset: am.Abbr, Algorithm: ddsRes.Algorithm, Seconds: sec,
+		Density: ddsRes.Density, Trace: tr,
+	})
+	return out
+}
+
+// tracedRun arms the shared parallel-runtime counters around one solver
+// run, stores the counter delta and total wall time into tr, and returns
+// the run's seconds (the harness-side mirror of the dsd.Options.Trace
+// envelope, for callers driving internal solvers directly).
+func tracedRun(tr *trace.Trace, run func()) float64 {
+	release := parallel.RetainStats()
+	before := parallel.StatsSnapshot()
+	start := time.Now()
+	run()
+	delta := parallel.StatsSnapshot().Sub(before)
+	release()
+	tr.Parallel = trace.ParallelStats(delta)
+	elapsed := time.Since(start)
+	tr.AddPhase("total", elapsed)
+	return elapsed.Seconds()
+}
+
+// DatasetRows is the machine-readable face of Datasets: one row per catalog
+// model with its materialized sizes in Extra (Tables 4 and 5).
+func DatasetRows(cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, ds := range gen.UndirectedCatalog() {
+		st := ds.BuildUndirected(cfg.Scale).Summarize(ds.Abbr)
+		rows = append(rows, Row{
+			Experiment: "datasets", Dataset: ds.Abbr, Algorithm: "-",
+			Extra: map[string]int64{"n": int64(st.N), "m": st.M, "max_deg": int64(st.MaxDeg)},
+		})
+	}
+	for _, ds := range gen.DirectedCatalog() {
+		st := ds.BuildDirected(cfg.Scale).Summarize(ds.Abbr)
+		rows = append(rows, Row{
+			Experiment: "datasets", Dataset: ds.Abbr, Algorithm: "-",
+			Extra: map[string]int64{"n": int64(st.N), "m": st.M,
+				"max_out_deg": int64(st.MaxOutDeg), "max_in_deg": int64(st.MaxInDeg)},
+		})
+	}
+	return rows
+}
+
+// WriteReport encodes the report as indented JSON.
+func WriteReport(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReportFilename is the canonical artifact name for a report generated at t:
+// BENCH_<compact UTC timestamp>.json.
+func ReportFilename(t time.Time) string {
+	return "BENCH_" + t.UTC().Format("20060102T150405") + ".json"
+}

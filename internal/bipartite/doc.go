@@ -1,0 +1,10 @@
+// Package bipartite implements (α, β)-core decomposition and densest
+// bipartite subgraph discovery, the bipartite-graph branch of the paper's
+// related work ([54] Liu et al. for the core model; [43], [22] for
+// bipartite DSD). A bipartite graph has left vertices L (e.g. users) and
+// right vertices R (e.g. products); the (α, β)-core is the maximal
+// subgraph where every surviving left vertex keeps at least α right
+// neighbors and every right vertex at least β left neighbors — the
+// bipartite analogue of the [x, y]-core, and the same peeling machinery
+// applies after orienting every edge left-to-right.
+package bipartite

@@ -1,0 +1,6 @@
+// Package bucket implements the bucket-queue ("binsort") structures behind
+// the O(m) Batagelj–Zaveršnik core decomposition and the serial peeling
+// baselines (Charikar's greedy, [x,y]-core peeling). A bucket queue keeps n
+// items keyed by small non-negative integers (degrees) and supports
+// extract-min and decrease-key in O(1).
+package bucket

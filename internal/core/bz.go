@@ -1,12 +1,3 @@
-// Package core implements k-core decomposition, the dense-subgraph engine
-// behind the paper's undirected densest-subgraph algorithms. It provides
-// the serial Batagelj–Zaveršnik O(m) decomposition (the correctness oracle),
-// the h-index–based parallel Local algorithm of Sariyüce et al. (the paper's
-// Algorithm 1), the level-synchronous parallel peeling PKC of
-// Kabir–Madduri, and the paper's contribution PKMC (Algorithm 2): Local cut
-// short by the Theorem-1 early-stop criterion, which recovers the k*-core —
-// a 2-approximation of the undirected densest subgraph — after only a few
-// iterations.
 package core
 
 import (

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
@@ -83,6 +84,37 @@ func hSweep(g *graph.Undirected, cur, next []int32, scratch *hScratch, p int) bo
 		}
 	})
 	return changed
+}
+
+// hSweepTraced is hSweep with convergence accounting for the observability
+// layer: it additionally returns how many vertices changed value and the
+// largest single decrease (h-values are pointwise non-increasing, so the
+// delta is always a drop). It is only called when a trace is attached; the
+// untraced sweep stays free of the extra atomics.
+func hSweepTraced(g *graph.Undirected, cur, next []int32, scratch *hScratch, p int) (changed int64, maxDelta int32) {
+	var changedTotal atomic.Int64
+	var deltaMax atomic.Int32
+	parallel.ForBlocks(g.N(), p, parallel.DefaultGrain, func(lo, hi int) {
+		bufp := scratch.get()
+		var localChanged int64
+		var localDelta int32
+		for v := lo; v < hi; v++ {
+			nv := hIndexOf(cur, g.Neighbors(int32(v)), *bufp)
+			next[v] = nv
+			if nv != cur[v] {
+				localChanged++
+				if d := cur[v] - nv; d > localDelta {
+					localDelta = d
+				}
+			}
+		}
+		scratch.put(bufp)
+		if localChanged > 0 {
+			changedTotal.Add(localChanged)
+			parallel.MaxInt32(&deltaMax, localDelta)
+		}
+	})
+	return changedTotal.Load(), deltaMax.Load()
 }
 
 // initDegrees fills h with the vertex degrees in parallel — the h⁰

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
 
 // LocalResult is the outcome of a full h-index core decomposition.
 type LocalResult struct {
@@ -20,6 +24,13 @@ type LocalResult struct {
 // embarrassingly parallel — no synchronization beyond the per-iteration
 // barrier.
 func Local(g *graph.Undirected, p int) LocalResult {
+	return LocalWithTrace(g, p, nil)
+}
+
+// LocalWithTrace is Local with an optional convergence trace: when tr is
+// non-nil, every sweep records its h_max / candidate count / changed-vertex
+// count (trace.Iteration); nil keeps the untraced fast path.
+func LocalWithTrace(g *graph.Undirected, p int, tr *trace.Trace) LocalResult {
 	n := g.N()
 	cur := make([]int32, n)
 	next := make([]int32, n)
@@ -27,9 +38,18 @@ func Local(g *graph.Undirected, p int) LocalResult {
 	scratch := newHScratch(g.MaxDegree())
 	iters := 0
 	for {
-		changed := hSweep(g, cur, next, scratch, p)
+		var changed bool
+		if tr.Enabled() {
+			nChanged, maxDelta := hSweepTraced(g, cur, next, scratch, p)
+			changed = nChanged > 0
+			cur, next = next, cur
+			hmax, s := parallel.MaxIndexInt32(cur, p)
+			tr.AddIteration(trace.Iteration{HMax: hmax, AtHMax: s, Changed: nChanged, MaxDelta: maxDelta})
+		} else {
+			changed = hSweep(g, cur, next, scratch, p)
+			cur, next = next, cur
+		}
 		iters++
-		cur, next = next, cur
 		if !changed {
 			break
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // PKMCResult is the outcome of the paper's parallel k*-core computation.
@@ -27,6 +28,10 @@ type PKMCOptions struct {
 	// the property Theorem 1 guarantees. A failed check panics; it exists
 	// to let the test suite machine-check the theorem on random graphs.
 	Paranoid bool
+	// Trace, when non-nil, records one trace.Iteration per h-index sweep
+	// (h_max, candidate count, changed vertices, max delta, early-stop
+	// trigger). nil keeps the sweep on its untraced fast path.
+	Trace *trace.Trace
 }
 
 // PKMC is the paper's Algorithm 2: parallel k*-core computation. It runs
@@ -56,18 +61,35 @@ func PKMCWithOptions(g *graph.Undirected, p int, opts PKMCOptions) PKMCResult {
 	hmax, s := parallel.MaxIndexInt32(cur, p)
 	iters := 0
 	for {
-		changed := hSweep(g, cur, next, scratch, p)
+		var changed bool
+		var nChanged int64
+		var maxDelta int32
+		if opts.Trace.Enabled() {
+			nChanged, maxDelta = hSweepTraced(g, cur, next, scratch, p)
+			changed = nChanged > 0
+		} else {
+			changed = hSweep(g, cur, next, scratch, p)
+		}
 		iters++
 		cur, next = next, cur
 		if !changed {
+			if opts.Trace.Enabled() {
+				nhmax, ns := parallel.MaxIndexInt32(cur, p)
+				opts.Trace.AddIteration(trace.Iteration{HMax: nhmax, AtHMax: ns})
+			}
 			break // full convergence: h equals the core numbers everywhere
 		}
 		nhmax, ns := parallel.MaxIndexInt32(cur, p)
+		stop := false
 		if !opts.DisableEarlyStop {
 			guardOK := opts.DisableProp1Guard || ns > int64(nhmax)
-			if guardOK && nhmax == hmax && ns == s {
-				break // Theorem 1: the k*-core is already determined
-			}
+			stop = guardOK && nhmax == hmax && ns == s
+		}
+		opts.Trace.AddIteration(trace.Iteration{
+			HMax: nhmax, AtHMax: ns, Changed: nChanged, MaxDelta: maxDelta, EarlyStop: stop,
+		})
+		if stop {
+			break // Theorem 1: the k*-core is already determined
 		}
 		hmax, s = nhmax, ns
 	}

@@ -1,11 +1,3 @@
-// Package dds solves the Directed Densest Subgraph problem (the paper's
-// Problem 2): given a digraph D, find vertex sets S, T maximizing
-// ρ(S, T) = |E(S, T)| / sqrt(|S|·|T|). It implements the full Exp-5 lineup:
-// the exact flow solver and brute-force oracle, the peeling baselines PBS
-// (Charikar), PFKS (Khuller–Saha, fixed) and PBD (Bahmani), the Frank–Wolfe
-// PFW, the state-of-the-art core enumeration PXY (Ma et al.), and the
-// paper's contribution PWC — the [x*, y*]-core extracted from a single
-// w*-induced subgraph decomposition (Algorithms 3 and 4).
 package dds
 
 import (

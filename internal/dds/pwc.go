@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // PWCStats instruments a PWC run for the paper's Table 7: the arc counts of
@@ -29,42 +30,76 @@ type PWCStats struct {
 // [x*, y*]-core out of the w*-induced subgraph (legitimate since the core
 // is contained in it by Lemma 4 + Theorem 2).
 func PWC(d *graph.Directed, p int) Result {
-	r, _ := PWCWithStats(d, p)
+	r, _ := pwcImpl(d, p, nil)
 	return r
 }
 
 // PWCWithStats is PWC returning the Table-7 instrumentation.
 func PWCWithStats(d *graph.Directed, p int) (Result, PWCStats) {
+	return pwcImpl(d, p, nil)
+}
+
+// PWCTraced is PWC with the observability record: its three stages — the
+// w*-induced subgraph decomposition (Algorithm 3), the Lemma-6 edge-deletion
+// search for [x*, y*], and the final core extraction — are timed as phases,
+// and the Table-7 arc counts land in the trace counters (arcs_input,
+// arcs_after_warm_start, arcs_at_wstar, arcs_densest, wstar, levels). A nil
+// tr is exactly PWC.
+func PWCTraced(d *graph.Directed, p int, tr *trace.Trace) Result {
+	r, _ := pwcImpl(d, p, tr)
+	return r
+}
+
+// pwcImpl is the shared Algorithm-4 body behind PWC, PWCWithStats and
+// PWCTraced.
+func pwcImpl(d *graph.Directed, p int, tr *trace.Trace) (Result, PWCStats) {
+	tr.SetAlgorithm("PWC")
 	stats := PWCStats{ArcsInput: d.M()}
+	defer func() {
+		tr.Counter("arcs_input", stats.ArcsInput)
+		tr.Counter("arcs_after_warm_start", stats.ArcsAfterWarmStart)
+		tr.Counter("arcs_at_wstar", stats.ArcsAtWStar)
+		tr.Counter("arcs_densest", stats.ArcsDensest)
+		tr.Counter("wstar", stats.WStar)
+		tr.Counter("levels", int64(stats.Levels))
+		tr.RaisePeak(stats.ArcsAfterWarmStart)
+	}()
 	if d.M() == 0 {
 		return Result{Algorithm: "PWC"}, stats
 	}
+	endDecomp := tr.StartPhase("wstar-decomposition")
 	ws := WStarSubgraph(d, p)
+	endDecomp()
 	stats.ArcsAfterWarmStart = ws.ArcsAfterWarmStart
 	stats.ArcsAtWStar = ws.ArcsAtWStar
 	stats.WStar = ws.WStar
 	stats.Levels = ws.Levels
 
 	h := ws.Subgraph
+	endSearch := tr.StartPhase("cnpair-search")
 	x, y := findMaxCNPair(h, ws.WStar, p)
+	endSearch()
 	if x < 1 || y < 1 {
 		return Result{Algorithm: "PWC"}, stats
 	}
 	// Extract the [x*, y*]-core from the w*-induced subgraph. The peel on
 	// h equals the peel on d restricted to h because the core of d is a
 	// subgraph of h.
+	endExtract := tr.StartPhase("core-extraction")
 	s, t := XYCore(h, x, y)
 	if len(s) == 0 || len(t) == 0 {
 		// Defensive fallback (see findMaxCNPair): scan the divisor pairs
 		// of w* for a non-empty core; Theorem 2 guarantees one exists.
 		x, y, s, t = bestDivisorCore(h, ws.WStar)
 		if len(s) == 0 {
+			endExtract()
 			return Result{Algorithm: "PWC"}, stats
 		}
 	}
 	sOrig := mapBack(s, ws.Original)
 	tOrig := mapBack(t, ws.Original)
 	stats.ArcsDensest = d.EdgesST(sOrig, tOrig)
+	endExtract()
 	return Result{
 		Algorithm:  "PWC",
 		S:          sOrig,

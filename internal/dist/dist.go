@@ -1,19 +1,3 @@
-// Package dist simulates the distributed-memory deployment the paper's
-// conclusion names as its primary future work ("implement our algorithms
-// on a distributed computing platform (e.g., GraphX) ... when the graph is
-// too large to be kept by a single machine"). Vertices are hash-partitioned
-// across W workers; computation proceeds in BSP supersteps: every worker
-// updates the h-indices of its own vertices using only its local state plus
-// *ghost* copies of remote neighbors' values, then exchanges the boundary
-// values that changed. No worker ever reads another worker's state
-// directly, so the counted message traffic is exactly what a cluster
-// implementation would put on the wire.
-//
-// The simulation exists to answer the deployment questions ahead of a real
-// port: how many supersteps PKMC needs (same as its iterations — the
-// Theorem-1 early stop cuts communication rounds, not just local work),
-// and how much boundary traffic each round moves (deltas shrink fast as
-// h-values converge).
 package dist
 
 import (

@@ -1,17 +1,3 @@
-// Package faultinject provides named fault-injection probe points for the
-// chaos test suites. Production code calls Hit (or Fire) at a probe site; in
-// normal operation nothing is armed and the call is a single atomic load.
-// Tests Arm a site with a panic, delay, or error fault and a deterministic
-// firing schedule, exercise the system, and assert that the containment
-// machinery (panic trapping in internal/parallel, the solver recover in the
-// dsd entry points, the registry's abort-on-failure load path) holds.
-//
-// Firing is deterministic: each site counts its hits, and a fault fires on
-// every Every-th hit (optionally scrambled by a seed so "1-in-N" faults do
-// not land on a fixed stride). Determinism is per-site hit order — under
-// concurrency the set of firing hits is fixed even though which goroutine
-// draws them is not, which is exactly what a chaos test wants: a repeatable
-// fault rate with scheduler-dependent placement.
 package faultinject
 
 import (

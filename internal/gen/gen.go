@@ -1,10 +1,3 @@
-// Package gen provides seeded synthetic graph generators. They stand in for
-// the paper's KONECT/LAW datasets (Tables 4 and 5), which are unavailable
-// offline and in four cases billion-scale: each real graph is replaced by a
-// scale model with the same qualitative structure — power-law degree tails,
-// a dense core, hub asymmetry for the directed sets — because those are the
-// properties the evaluated algorithms are sensitive to (see DESIGN.md,
-// "Dataset substitutions").
 package gen
 
 import (

@@ -1,10 +1,3 @@
-// Package kclique implements the k-clique-density variant of densest
-// subgraph discovery for k = 3 (the triangle-densest subgraph of
-// Tsourakakis), the second dense-subgraph model the paper's conclusion
-// points to: ρ₃(S) = #triangles(G[S]) / |S|. The peeling algorithm that
-// repeatedly removes the vertex in the fewest triangles and keeps the best
-// intermediate subgraph is a 3-approximation (the triangle analogue of
-// Charikar's peel).
 package kclique
 
 import (

@@ -1,0 +1,13 @@
+// Package parallel provides shared-memory data-parallel primitives used by
+// the densest-subgraph algorithms. It is the Go substitute for the OpenMP
+// "parallel for" regions of the paper's reference implementation: a bounded
+// set of worker goroutines sweeps an index range, with contended state
+// updated through sync/atomic.
+//
+// The runtime also keeps optional work counters (regions entered, chunks
+// executed, items covered, workers launched, regions aborted by a contained
+// panic) for the observability layer. They are disarmed by default — one
+// atomic load per parallel region — and armed per traced solve via
+// RetainStats, which refcounts concurrent holders; see Stats and
+// StatsSnapshot.
+package parallel

@@ -1,8 +1,3 @@
-// Package parallel provides shared-memory data-parallel primitives used by
-// the densest-subgraph algorithms. It is the Go substitute for the OpenMP
-// "parallel for" regions of the paper's reference implementation: a bounded
-// set of worker goroutines sweeps an index range, with contended state
-// updated through sync/atomic.
 package parallel
 
 import (
@@ -123,6 +118,7 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		recordRegion(n, grain, 1, false)
 		return
 	}
 	var t trap
@@ -150,6 +146,7 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	recordRegion(n, grain, p, t.pending())
 	t.rethrow()
 }
 
@@ -170,6 +167,7 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 	if p <= 1 {
 		faultinject.Fire("parallel.for.chunk")
 		body(0, n)
+		recordRegion(n, grain, 1, false)
 		return
 	}
 	var t trap
@@ -195,6 +193,7 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	recordRegion(n, grain, p, t.pending())
 	t.rethrow()
 }
 
@@ -207,6 +206,7 @@ func Workers(p int, fn func(w int)) {
 	if p <= 1 {
 		faultinject.Fire("parallel.workers")
 		fn(0)
+		recordRegion(1, 1, 1, false)
 		return
 	}
 	var t trap
@@ -221,6 +221,7 @@ func Workers(p int, fn func(w int)) {
 		}(w)
 	}
 	wg.Wait()
+	recordRegion(p, 1, p, t.pending())
 	t.rethrow()
 }
 

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of the runtime's cumulative work counters: parallel
+// regions entered, work chunks executed, index items covered, worker
+// goroutines launched, and regions aborted early by a contained panic.
+// Counters are process-wide and monotone; callers interested in one solve
+// take a snapshot before and after and subtract (Stats.Sub).
+type Stats struct {
+	Regions        int64
+	Chunks         int64
+	Items          int64
+	WorkerLaunches int64
+	AbortedRegions int64
+}
+
+// Sub returns the delta s - prev, counter by counter.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Regions:        s.Regions - prev.Regions,
+		Chunks:         s.Chunks - prev.Chunks,
+		Items:          s.Items - prev.Items,
+		WorkerLaunches: s.WorkerLaunches - prev.WorkerLaunches,
+		AbortedRegions: s.AbortedRegions - prev.AbortedRegions,
+	}
+}
+
+// statsEnabled gates all counter writes. Disarmed cost on the solve path is
+// one atomic load per parallel *region* (not per chunk or index), so the
+// default path stays unmeasurably close to free.
+var statsEnabled atomic.Bool
+
+var (
+	statRegions        atomic.Int64
+	statChunks         atomic.Int64
+	statItems          atomic.Int64
+	statWorkerLaunches atomic.Int64
+	statAborted        atomic.Int64
+)
+
+// EnableStats arms (or disarms) the runtime counters. They start disarmed.
+func EnableStats(on bool) { statsEnabled.Store(on) }
+
+// statsRefs counts live RetainStats holders so concurrent traced solves can
+// share the armed counters without one's finish disarming the other's.
+var statsRefs atomic.Int64
+
+// RetainStats arms the counters for one traced solve and returns the
+// matching release. The counters stay armed while any holder is live; the
+// last release disarms them (unless EnableStats(true) pinned them on).
+func RetainStats() (release func()) {
+	if statsRefs.Add(1) == 1 {
+		statsEnabled.Store(true)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if statsRefs.Add(-1) == 0 {
+				statsEnabled.Store(false)
+			}
+		})
+	}
+}
+
+// StatsEnabled reports whether the counters are currently armed.
+func StatsEnabled() bool { return statsEnabled.Load() }
+
+// StatsSnapshot reads the cumulative counters.
+func StatsSnapshot() Stats {
+	return Stats{
+		Regions:        statRegions.Load(),
+		Chunks:         statChunks.Load(),
+		Items:          statItems.Load(),
+		WorkerLaunches: statWorkerLaunches.Load(),
+		AbortedRegions: statAborted.Load(),
+	}
+}
+
+// ResetStats zeroes the cumulative counters (tests and bench harness setup).
+func ResetStats() {
+	statRegions.Store(0)
+	statChunks.Store(0)
+	statItems.Store(0)
+	statWorkerLaunches.Store(0)
+	statAborted.Store(0)
+}
+
+// recordRegion accounts one completed parallel region: n items split into
+// chunks of the given grain, run by workers goroutines (0 = inline serial
+// path). Called once per region, after its WaitGroup has drained and before
+// any trapped panic is re-raised, so aborted regions are still counted.
+func recordRegion(n, grain, workers int, aborted bool) {
+	if !statsEnabled.Load() {
+		return
+	}
+	statRegions.Add(1)
+	statItems.Add(int64(n))
+	if workers <= 1 {
+		statChunks.Add(1)
+	} else {
+		statChunks.Add(int64((n + grain - 1) / grain))
+		statWorkerLaunches.Add(int64(workers))
+	}
+	if aborted {
+		statAborted.Add(1)
+	}
+}

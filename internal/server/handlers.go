@@ -81,6 +81,12 @@ type SolveOptions struct {
 	// and sizes are often all a dashboard needs, and hub subgraphs can
 	// span millions of ids.
 	OmitVertices bool `json:"omit_vertices,omitempty"`
+	// Trace returns the solver's observability record (phase timings,
+	// h-index iteration log, parallel-runtime counters) in the response.
+	// Trace-requested solves always run fresh — a cached result carries no
+	// trace — but their (traceless) result still lands in the cache for
+	// later untraced requests.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // UDSResponse is the POST /solve/uds answer.
@@ -95,6 +101,8 @@ type UDSResponse struct {
 	Vertices   []int32 `json:"vertices,omitempty"`
 	Cached     bool    `json:"cached"`
 	ElapsedMs  float64 `json:"elapsed_ms"`
+	// Trace is present only when the request set options.trace.
+	Trace *dsd.Trace `json:"trace,omitempty"`
 }
 
 // DDSResponse is the POST /solve/dds answer.
@@ -113,6 +121,8 @@ type DDSResponse struct {
 	T          []int32 `json:"t,omitempty"`
 	Cached     bool    `json:"cached"`
 	ElapsedMs  float64 `json:"elapsed_ms"`
+	// Trace is present only when the request set options.trace.
+	Trace *dsd.Trace `json:"trace,omitempty"`
 }
 
 // decodeJSON strictly parses the request body into v.
@@ -254,6 +264,28 @@ func (s *Server) solveError(ctx context.Context, err error) *apiError {
 	}
 }
 
+// newTrace returns the trace to attach to one solve: non-nil when the
+// client asked for one (options.trace) or the server records phase metrics
+// (Config.TracePhases); nil keeps the solver on its untraced fast path.
+func (s *Server) newTrace(o SolveOptions) *dsd.Trace {
+	if o.Trace || s.cfg.TracePhases {
+		return &dsd.Trace{}
+	}
+	return nil
+}
+
+// observeSolve records one completed, uncached solve in the metrics. Phase
+// timings are folded in only under Config.TracePhases — a client-requested
+// trace alone should not perturb the server's aggregate phase metrics
+// half-armed.
+func (s *Server) observeSolve(graphName, algo string, start time.Time, tr *dsd.Trace) {
+	var phases []dsd.TracePhase
+	if s.cfg.TracePhases && tr != nil {
+		phases = tr.Phases
+	}
+	s.metrics.ObserveSolve(graphName, algo, time.Since(start), phases)
+}
+
 // handleSolveUDS serves POST /solve/uds.
 func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiError {
 	var req SolveRequest
@@ -272,12 +304,14 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	}
 	key := cacheKey(e, "uds", req.Algo, req.Options)
 	start := time.Now()
-	if v, ok := s.cache.Get(key); ok {
-		resp := v.(UDSResponse) // copy; Cached/ElapsedMs are per-request
-		resp.Cached = true
-		resp.ElapsedMs = msSince(start)
-		writeJSON(w, http.StatusOK, resp)
-		return nil
+	if !req.Options.Trace {
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(UDSResponse) // copy; Cached/ElapsedMs are per-request
+			resp.Cached = true
+			resp.ElapsedMs = msSince(start)
+			writeJSON(w, http.StatusOK, resp)
+			return nil
+		}
 	}
 	if aerr := s.acquire(r); aerr != nil {
 		return aerr
@@ -288,6 +322,7 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if s.solveGate != nil {
 		s.solveGate()
 	}
+	tr := s.newTrace(req.Options)
 	res, err := dsd.SolveUDS(e.G, dsd.Algo(req.Algo), dsd.Options{
 		Workers:    req.Options.Workers,
 		Epsilon:    req.Options.Epsilon,
@@ -295,10 +330,12 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 		Iterations: req.Options.Iterations,
 		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
 		Ctx:        ctx,
+		Trace:      tr,
 	})
 	if err != nil {
 		return s.solveError(ctx, err)
 	}
+	s.observeSolve(e.Name, res.Algorithm, start, tr)
 	resp := UDSResponse{
 		Graph:      e.Name,
 		Version:    e.Version,
@@ -311,7 +348,10 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if !req.Options.OmitVertices {
 		resp.Vertices = res.Vertices
 	}
-	s.cache.Put(key, resp)
+	s.cache.Put(key, resp) // stored without the per-run trace
+	if req.Options.Trace {
+		resp.Trace = tr
+	}
 	resp.ElapsedMs = msSince(start)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -335,12 +375,14 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	}
 	key := cacheKey(e, "dds", req.Algo, req.Options)
 	start := time.Now()
-	if v, ok := s.cache.Get(key); ok {
-		resp := v.(DDSResponse)
-		resp.Cached = true
-		resp.ElapsedMs = msSince(start)
-		writeJSON(w, http.StatusOK, resp)
-		return nil
+	if !req.Options.Trace {
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(DDSResponse)
+			resp.Cached = true
+			resp.ElapsedMs = msSince(start)
+			writeJSON(w, http.StatusOK, resp)
+			return nil
+		}
 	}
 	if aerr := s.acquire(r); aerr != nil {
 		return aerr
@@ -351,6 +393,7 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if s.solveGate != nil {
 		s.solveGate()
 	}
+	tr := s.newTrace(req.Options)
 	res, err := dsd.SolveDDS(e.D, dsd.Algo(req.Algo), dsd.Options{
 		Workers:    req.Options.Workers,
 		Epsilon:    req.Options.Epsilon,
@@ -358,10 +401,12 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 		Iterations: req.Options.Iterations,
 		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
 		Ctx:        ctx,
+		Trace:      tr,
 	})
 	if err != nil {
 		return s.solveError(ctx, err)
 	}
+	s.observeSolve(e.Name, res.Algorithm, start, tr)
 	resp := DDSResponse{
 		Graph:      e.Name,
 		Version:    e.Version,
@@ -380,7 +425,10 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	// A budget-truncated sweep is wall-clock dependent — rerunning it with
 	// more time may do better, so best-so-far answers are not cached.
 	if !res.TimedOut {
-		s.cache.Put(key, resp)
+		s.cache.Put(key, resp) // stored without the per-run trace
+	}
+	if req.Options.Trace {
+		resp.Trace = tr
 	}
 	resp.ElapsedMs = msSince(start)
 	writeJSON(w, http.StatusOK, resp)

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Metrics is the server's expvar surface: request counts, latency sums and
@@ -29,6 +31,19 @@ type Metrics struct {
 	Panics      expvar.Int
 	CacheHits   expvar.Int
 	CacheMisses expvar.Int
+	// SolvesByGraph / SolvesByAlgo count completed (uncached) solves per
+	// resident graph name and per algorithm — the per-workload traffic
+	// split a capacity planner wants next to the per-route totals.
+	SolvesByGraph expvar.Map
+	SolvesByAlgo  expvar.Map
+	// SolveLatencyHist is a log₂-bucketed histogram of solve wall times:
+	// keys "le_1ms", "le_2ms", ... "le_32768ms", "inf" count solves at or
+	// under each bound (non-cumulative buckets, one increment per solve).
+	SolveLatencyHist expvar.Map
+	// PhaseMsSum accumulates solver-phase wall time per "algo/phase" key
+	// (e.g. "PKMC/core-decomposition") when Config.TracePhases is on —
+	// the serving-side view of the observability layer's phase timings.
+	PhaseMsSum expvar.Map
 
 	maxMu sync.Mutex // LatencyMsMax read-modify-write
 }
@@ -40,7 +55,37 @@ func NewMetrics() *Metrics {
 	m.ErrorsByCode.Init()
 	m.LatencyMsSum.Init()
 	m.LatencyMsMax.Init()
+	m.SolvesByGraph.Init()
+	m.SolvesByAlgo.Init()
+	m.SolveLatencyHist.Init()
+	m.PhaseMsSum.Init()
 	return m
+}
+
+// latencyBucket returns the histogram key for one solve duration: the
+// smallest power-of-two millisecond bound at or above it, capped at 2¹⁵ ms
+// (~33 s) with everything beyond in "inf".
+func latencyBucket(elapsed time.Duration) string {
+	ms := elapsed.Milliseconds()
+	for bound := int64(1); bound <= 32768; bound *= 2 {
+		if ms <= bound {
+			return fmt.Sprintf("le_%dms", bound)
+		}
+	}
+	return "inf"
+}
+
+// ObserveSolve records one completed, uncached solve: the per-graph and
+// per-algorithm counters and the latency histogram bucket. phases, when
+// non-nil (Config.TracePhases), folds each solver phase's wall time into
+// PhaseMsSum under "algo/phase".
+func (m *Metrics) ObserveSolve(graphName, algo string, elapsed time.Duration, phases []trace.Phase) {
+	m.SolvesByGraph.Add(graphName, 1)
+	m.SolvesByAlgo.Add(algo, 1)
+	m.SolveLatencyHist.Add(latencyBucket(elapsed), 1)
+	for _, ph := range phases {
+		m.PhaseMsSum.AddFloat(algo+"/"+ph.Name, ph.Seconds*1000)
+	}
 }
 
 var publishOnce sync.Once
@@ -77,10 +122,12 @@ func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
 // snapshot renders the metrics as one JSON object (expvar vars stringify
 // to JSON by contract).
 func (m *Metrics) snapshot() string {
-	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s}`,
+	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s}`,
 		m.Requests.String(), m.ErrorsByCode.String(),
 		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
-		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String())
+		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String(),
+		m.SolvesByGraph.String(), m.SolvesByAlgo.String(),
+		m.SolveLatencyHist.String(), m.PhaseMsSum.String())
 }
 
 // rawJSON marks an already-encoded JSON string so expvar.Func does not

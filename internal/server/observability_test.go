@@ -1,0 +1,151 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func TestPprofGatedOffByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without EnablePprof = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofMountedWhenEnabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSolveTraceOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SolveRequest{Graph: "clique", Algo: "pkmc", Options: SolveOptions{Trace: true}}
+
+	var resp UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", req, &resp); got != http.StatusOK {
+		t.Fatalf("traced solve = %d, want 200", got)
+	}
+	if resp.Trace == nil {
+		t.Fatal("options.trace set but response carries no trace")
+	}
+	if len(resp.Trace.Phases) == 0 || len(resp.Trace.Iterations) == 0 {
+		t.Fatalf("trace missing phases or iterations: %+v", resp.Trace)
+	}
+	if resp.Trace.Algorithm != "PKMC" {
+		t.Fatalf("trace algorithm = %q, want PKMC", resp.Trace.Algorithm)
+	}
+
+	// A traced request never serves from cache, but its result is cached
+	// (traceless) for later untraced requests.
+	var again UDSResponse
+	doJSON(t, "POST", ts.URL+"/solve/uds", req, &again)
+	if again.Cached {
+		t.Fatal("traced request served from cache")
+	}
+	untraced := SolveRequest{Graph: "clique", Algo: "pkmc"}
+	var cached UDSResponse
+	doJSON(t, "POST", ts.URL+"/solve/uds", untraced, &cached)
+	if !cached.Cached {
+		t.Fatal("untraced request after traced solve missed the cache")
+	}
+	if cached.Trace != nil {
+		t.Fatal("cached response leaked a trace")
+	}
+}
+
+func TestSolveDDSTraceOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SolveRequest{Graph: "biclique", Algo: "pwc", Options: SolveOptions{Trace: true}}
+	var resp DDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/dds", req, &resp); got != http.StatusOK {
+		t.Fatalf("traced DDS solve = %d, want 200", got)
+	}
+	if resp.Trace == nil || resp.Trace.Algorithm != "PWC" {
+		t.Fatalf("DDS trace = %+v, want PWC trace", resp.Trace)
+	}
+	if len(resp.Trace.Phases) == 0 {
+		t.Fatal("PWC trace has no phases")
+	}
+	if _, ok := resp.Trace.Counters["wstar"]; !ok {
+		t.Fatalf("PWC trace counters = %v, want wstar present", resp.Trace.Counters)
+	}
+}
+
+func TestObserveSolveMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{TracePhases: true})
+	req := SolveRequest{Graph: "clique", Algo: "pkmc"}
+	var resp UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", req, &resp); got != http.StatusOK {
+		t.Fatalf("solve = %d, want 200", got)
+	}
+	m := s.Metrics()
+	if m.SolvesByGraph.Get("clique") == nil {
+		t.Fatal("solves_by_graph missing clique entry")
+	}
+	snap := m.snapshot()
+	for _, want := range []string{`"solves_by_graph"`, `"clique": 1`, `"PKMC": 1`, `"PKMC/core-decomposition"`} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("metrics snapshot missing %s:\n%s", want, snap)
+		}
+	}
+	// A cache hit must not count as a solve.
+	doJSON(t, "POST", ts.URL+"/solve/uds", req, &resp)
+	if !resp.Cached {
+		t.Fatal("second solve missed the cache")
+	}
+	if snap2 := m.snapshot(); !strings.Contains(snap2, `"PKMC": 1`) {
+		t.Fatalf("cache hit incremented solve counters:\n%s", snap2)
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "le_1ms"},
+		{time.Millisecond, "le_1ms"},
+		{3 * time.Millisecond, "le_4ms"},
+		{100 * time.Millisecond, "le_128ms"},
+		{time.Minute, "inf"},
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.want {
+			t.Errorf("latencyBucket(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestTracePhasesAlone checks that server-side phase metrics do not leak a
+// trace into the response when the client did not ask for one.
+func TestTracePhasesAlone(t *testing.T) {
+	_, ts := newTestServer(t, Config{TracePhases: true})
+	var resp UDSResponse
+	doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "clique", Algo: "local"}, &resp)
+	if resp.Trace != nil {
+		t.Fatal("TracePhases leaked a trace into an untraced response")
+	}
+}
+
+// Compile-time check: the wire trace type is the internal trace type, so the
+// server and solver layers agree on the schema without conversion.
+var _ *trace.Trace = (*dsd.Trace)(nil)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,19 @@ type Config struct {
 	// expvar registry (first server in the process wins). The per-server
 	// /debug/vars endpoint works either way.
 	PublishExpvar bool
+	// EnablePprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/ (index, cmdline, profile, symbol, trace, and the
+	// runtime profiles heap/goroutine/block/mutex via the index). Off by
+	// default: CPU profiling holds a process-wide lock and the endpoints
+	// leak implementation detail, so they are an explicit opt-in
+	// (cmd/dsdserver -pprof).
+	EnablePprof bool
+	// TracePhases attaches a dsd.Trace to every uncached solve and folds
+	// the per-phase solver wall times into the PhaseMsSum metric, keyed
+	// "algo/phase". Off by default; the per-solve tracing overhead is
+	// small but nonzero. Clients can still request a trace per call via
+	// the solve option "trace" regardless of this setting.
+	TracePhases bool
 }
 
 // Server is the densest-subgraph query service: a graph registry, a result
@@ -93,6 +107,14 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /solve/uds", s.route("solve_uds", s.handleSolveUDS))
 	s.mux.Handle("POST /solve/dds", s.route("solve_dds", s.handleSolveDDS))
 	s.mux.Handle("GET /debug/vars", m.handler())
+	if cfg.EnablePprof {
+		// No method in the patterns: pprof.Symbol serves both GET and POST.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))

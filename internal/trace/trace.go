@@ -1,0 +1,142 @@
+package trace
+
+import "time"
+
+// Phase is one timed stage of a solve: the name is solver-chosen (e.g.
+// "core-decomposition", "wstar-decomposition", "flow-search") and stable
+// across runs so phases can be compared along a benchmark trajectory.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Iteration is one h-index sweep of the core-based solvers (Algorithms 1-2):
+// the maximum h-value and how many vertices attain it (the pair the
+// Theorem-1 early-stop test watches), how many vertices changed value this
+// sweep, the largest single decrease, and whether this sweep triggered the
+// early stop.
+type Iteration struct {
+	Index     int   `json:"index"`      // 1-based sweep number
+	HMax      int32 `json:"h_max"`      // maximum h-index after the sweep
+	AtHMax    int64 `json:"at_h_max"`   // vertices attaining HMax (the candidate set size)
+	Changed   int64 `json:"changed"`    // vertices whose h-value changed this sweep
+	MaxDelta  int32 `json:"max_delta"`  // largest single-vertex decrease this sweep
+	EarlyStop bool  `json:"early_stop"` // this sweep satisfied the Theorem-1 criterion
+}
+
+// ParallelStats is a delta of the internal/parallel runtime counters over
+// one solve: how many parallel regions ran, how many work chunks were
+// claimed, how many index items they covered, how many worker goroutines
+// were launched, and how many regions were aborted by a contained panic.
+type ParallelStats struct {
+	Regions        int64 `json:"regions"`
+	Chunks         int64 `json:"chunks"`
+	Items          int64 `json:"items"`
+	WorkerLaunches int64 `json:"worker_launches"`
+	AbortedRegions int64 `json:"aborted_regions"`
+}
+
+// Trace accumulates one solve's observability record. All recording methods
+// are nil-safe no-ops, so solver code threads a possibly-nil *Trace without
+// branching; only the entry points (dsd.SolveUDS/SolveDDS, the bench
+// harness) decide whether one exists. A Trace is not safe for concurrent
+// writers — it belongs to a single solve call.
+type Trace struct {
+	Algorithm  string      `json:"algorithm,omitempty"`
+	Phases     []Phase     `json:"phases,omitempty"`
+	Iterations []Iteration `json:"iterations,omitempty"`
+	// EarlyStop reports that the Theorem-1 criterion ended the h-index
+	// sweep before full convergence (PKMC's whole advantage over Local).
+	EarlyStop bool `json:"early_stop,omitempty"`
+	// PeakCandidates is the largest candidate set the solver carried:
+	// the max h-max vertex count for the core solvers, the post-warm-start
+	// arc count for PWC.
+	PeakCandidates int64 `json:"peak_candidates,omitempty"`
+	// Counters holds algorithm-specific totals (e.g. PWC's Table-7 arc
+	// counts: arcs_input, arcs_after_warm_start, arcs_at_wstar, wstar).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Parallel is the internal/parallel counter delta over the solve.
+	// Deltas are process-wide, so concurrent solves blend into each other's
+	// numbers; single-solve contexts (CLI, bench) read them exactly.
+	Parallel ParallelStats `json:"parallel"`
+}
+
+// Enabled reports whether recording is live (t != nil) — for callers that
+// want to skip building expensive inputs to a recording call.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// SetAlgorithm stamps the solver name.
+func (t *Trace) SetAlgorithm(name string) {
+	if t != nil {
+		t.Algorithm = name
+	}
+}
+
+// StartPhase opens a named timed phase and returns its closer; idiomatic
+// use is `defer tr.StartPhase("flow-search")()`. Nil-safe.
+func (t *Trace) StartPhase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.Phases = append(t.Phases, Phase{Name: name, Seconds: time.Since(start).Seconds()})
+	}
+}
+
+// AddPhase records an already-measured phase (for callers that time work
+// themselves). Nil-safe.
+func (t *Trace) AddPhase(name string, d time.Duration) {
+	if t != nil {
+		t.Phases = append(t.Phases, Phase{Name: name, Seconds: d.Seconds()})
+	}
+}
+
+// AddIteration appends one sweep record and keeps PeakCandidates raised to
+// the sweep's candidate-set size. Nil-safe.
+func (t *Trace) AddIteration(it Iteration) {
+	if t == nil {
+		return
+	}
+	it.Index = len(t.Iterations) + 1
+	t.Iterations = append(t.Iterations, it)
+	if it.AtHMax > t.PeakCandidates {
+		t.PeakCandidates = it.AtHMax
+	}
+	if it.EarlyStop {
+		t.EarlyStop = true
+	}
+}
+
+// Counter adds v to a named algorithm-specific counter. Nil-safe.
+func (t *Trace) Counter(name string, v int64) {
+	if t == nil {
+		return
+	}
+	if t.Counters == nil {
+		t.Counters = make(map[string]int64)
+	}
+	t.Counters[name] += v
+}
+
+// RaisePeak lifts PeakCandidates to v if larger. Nil-safe.
+func (t *Trace) RaisePeak(v int64) {
+	if t != nil && v > t.PeakCandidates {
+		t.PeakCandidates = v
+	}
+}
+
+// PhaseSeconds returns the recorded wall time of the named phase (summed if
+// it was entered more than once), or 0 if it never ran.
+func (t *Trace) PhaseSeconds(name string) float64 {
+	if t == nil {
+		return 0
+	}
+	var s float64
+	for _, p := range t.Phases {
+		if p.Name == name {
+			s += p.Seconds
+		}
+	}
+	return s
+}

@@ -1,18 +1,3 @@
-// Package truss implements k-truss decomposition, the dense-subgraph model
-// the paper's conclusion names as the natural follow-up to the k-core
-// route ("another interesting research direction is to explore the
-// theoretical relationship between other dense subgraphs (e.g., k-truss
-// and k-clique) and densest graph"). A k-truss is the maximal subgraph in
-// which every edge closes at least k-2 triangles; the maximum-k truss is a
-// strictly tighter dense-subgraph certificate than the k*-core (every
-// k-truss is a (k-1)-core) and serves here as an alternative
-// densest-subgraph heuristic, compared against PKMC in the extension
-// bench.
-//
-// Both the serial bucket-peeling decomposition (the oracle) and the
-// h-index-style parallel local decomposition — the edge analogue of the
-// paper's Algorithm 1, iterating on triangle supports instead of degrees —
-// are provided.
 package truss
 
 import (

@@ -1,0 +1,11 @@
+// Package uds solves the Undirected Densest Subgraph problem (the paper's
+// Problem 1): given G, find S maximizing ρ(G[S]) = |E(S)|/|S|. It provides
+// the exact Goldberg flow solver plus every approximation algorithm of the
+// paper's Exp-1 lineup — Charikar's serial peeling, PBU (Bahmani batch
+// peeling), PFW (Frank–Wolfe), and the three k*-core routes Local, PKC and
+// PKMC (the paper's contribution, Algorithm 2 with the Theorem-1 early
+// stop). The *Traced entry points (PKMCTraced, LocalTraced, ExactTraced,
+// ExactPrunedTraced) run the same solvers with an internal/trace record
+// attached — phase timings, h-index iteration logs, pruning counters — and
+// are exactly their untraced counterparts when handed a nil trace.
+package uds

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/maxflow"
+	"repro/internal/trace"
 )
 
 // Exact solves the UDS problem exactly with Goldberg's flow construction:
@@ -149,6 +150,17 @@ func ExactPruned(g *graph.Undirected, p int) Result {
 // ExactPrunedCtx is ExactPruned with the same cancellation contract as
 // ExactCtx.
 func ExactPrunedCtx(ctx context.Context, g *graph.Undirected, p int) (Result, error) {
+	return ExactPrunedTraced(ctx, g, p, nil)
+}
+
+// ExactPrunedTraced is ExactPrunedCtx with the observability record: the
+// solve splits into the paper's natural phases — the PKMC lower bound
+// ("approx-lower-bound"), the full core decomposition that the pruning
+// needs ("core-decomposition"), the ⌈ρ̃⌉-core extraction ("prune"), and the
+// Goldberg flow binary search on the remnant ("flow-search") — each timed
+// into tr. A nil tr is exactly ExactPrunedCtx.
+func ExactPrunedTraced(ctx context.Context, g *graph.Undirected, p int, tr *trace.Trace) (Result, error) {
+	tr.SetAlgorithm("ExactPruned")
 	if g.N() == 0 || g.M() == 0 {
 		res, err := ExactCtx(ctx, g)
 		res.Algorithm = "ExactPruned"
@@ -157,21 +169,33 @@ func ExactPrunedCtx(ctx context.Context, g *graph.Undirected, p int) (Result, er
 	if err := cancel.Check(ctx); err != nil {
 		return Result{}, err
 	}
-	approx := core.PKMC(g, p)
+	endApprox := tr.StartPhase("approx-lower-bound")
+	approx := core.PKMCWithOptions(g, p, core.PKMCOptions{Trace: tr})
 	lower := g.InducedDensity(approx.Vertices) // ρ̃ <= ρ*
+	endApprox()
 	k := int32(lower)
 	if float64(k) < lower {
 		k++ // ⌈ρ̃⌉
 	}
 	// The ⌈ρ̃⌉-core needs core numbers; the h-index decomposition gives
 	// them in parallel. (PKMC alone cannot: it skips non-k* vertices.)
+	endDecomp := tr.StartPhase("core-decomposition")
 	coreNum := core.Local(g, p).CoreNum
+	endDecomp()
+	endPrune := tr.StartPhase("prune")
 	keep := core.KCore(coreNum, k)
 	sub, orig := g.Induced(keep)
+	endPrune()
+	tr.Counter("pruned_vertices", int64(g.N()-sub.N()))
+	tr.Counter("flow_vertices", int64(sub.N()))
+	tr.RaisePeak(int64(sub.N()))
+	endFlow := tr.StartPhase("flow-search")
 	res, err := ExactCtx(ctx, sub)
+	endFlow()
 	if err != nil {
 		return Result{}, err
 	}
+	tr.Counter("flow_probes", int64(res.Iterations))
 	mapped := make([]int32, len(res.Vertices))
 	for i, v := range res.Vertices {
 		mapped[i] = orig[v]

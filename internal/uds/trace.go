@@ -1,0 +1,71 @@
+package uds
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// This file holds the traced entry points of the observability layer: each
+// wraps its untraced sibling with phase timings and convergence recording.
+// All of them accept a nil *trace.Trace and then behave exactly like the
+// plain call, so dsd.SolveUDS routes through them unconditionally only when
+// Options.Trace is set.
+
+// PKMCTraced is PKMC with phase timings and the per-sweep h-index
+// convergence record (Algorithm 2's h_max / candidate-count pair and the
+// Theorem-1 early-stop trigger).
+func PKMCTraced(g *graph.Undirected, p int, tr *trace.Trace) Result {
+	tr.SetAlgorithm("PKMC")
+	endCore := tr.StartPhase("core-decomposition")
+	res := core.PKMCWithOptions(g, p, core.PKMCOptions{Trace: tr})
+	endCore()
+	endDensity := tr.StartPhase("density-evaluation")
+	density := g.InducedDensity(res.Vertices)
+	endDensity()
+	tr.Counter("k_star", int64(res.KStar))
+	tr.Counter("core_size", int64(len(res.Vertices)))
+	return Result{
+		Algorithm:  "PKMC",
+		Vertices:   res.Vertices,
+		Density:    density,
+		Iterations: res.Iterations,
+		KStar:      res.KStar,
+	}
+}
+
+// LocalTraced is Local with the same per-sweep record — the full-convergence
+// baseline against which PKMC's early stop is judged.
+func LocalTraced(g *graph.Undirected, p int, tr *trace.Trace) Result {
+	tr.SetAlgorithm("Local")
+	endCore := tr.StartPhase("core-decomposition")
+	res := core.LocalWithTrace(g, p, tr)
+	k, vs := core.KStarCore(res.CoreNum)
+	endCore()
+	endDensity := tr.StartPhase("density-evaluation")
+	density := g.InducedDensity(vs)
+	endDensity()
+	tr.Counter("k_star", int64(k))
+	tr.Counter("core_size", int64(len(vs)))
+	return Result{
+		Algorithm:  "Local",
+		Vertices:   vs,
+		Density:    density,
+		Iterations: res.Iterations,
+		KStar:      k,
+	}
+}
+
+// ExactTraced is ExactCtx with its flow binary search timed as one phase.
+func ExactTraced(ctx context.Context, g *graph.Undirected, tr *trace.Trace) (Result, error) {
+	tr.SetAlgorithm("Exact")
+	endFlow := tr.StartPhase("flow-search")
+	res, err := ExactCtx(ctx, g)
+	endFlow()
+	if err == nil {
+		tr.Counter("flow_probes", int64(res.Iterations))
+	}
+	return res, err
+}

@@ -1,9 +1,3 @@
-// Package uds solves the Undirected Densest Subgraph problem (the paper's
-// Problem 1): given G, find S maximizing ρ(G[S]) = |E(S)|/|S|. It provides
-// the exact Goldberg flow solver plus every approximation algorithm of the
-// paper's Exp-1 lineup — Charikar's serial peeling, PBU (Bahmani batch
-// peeling), PFW (Frank–Wolfe), and the three k*-core routes Local, PKC and
-// PKMC (the paper's contribution).
 package uds
 
 import (

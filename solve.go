@@ -93,6 +93,12 @@ type Options struct {
 	// request-scoped timeout bounds them even when Budget is unset. nil
 	// means never cancel.
 	Ctx context.Context
+	// Trace, when non-nil, opts this solve into the observability layer:
+	// the solver records phase wall times, per-iteration convergence
+	// (PKMC/Local h-index sweeps), candidate-set sizes, and the parallel
+	// runtime's work counters into it. nil (the default) keeps every
+	// solver on its uninstrumented fast path.
+	Trace *Trace
 }
 
 // Result is a solved UDS instance.
@@ -142,12 +148,19 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
 		return Result{}, err
 	}
 	p := opts.Workers
+	tr := opts.Trace
+	if tr != nil {
+		// Arm the runtime counters and time the whole solve; the traced
+		// algorithm branches below add their finer-grained phases inside.
+		finish := beginTrace(tr)
+		defer finish()
+	}
 	var r uds.Result
 	switch algo {
 	case AlgoPKMC:
-		r = uds.PKMC(g.g, p)
+		r = uds.PKMCTraced(g.g, p, tr)
 	case AlgoLocal:
-		r = uds.Local(g.g, p)
+		r = uds.LocalTraced(g.g, p, tr)
 	case AlgoPKC:
 		r = uds.PKC(g.g, p)
 	case AlgoBZ:
@@ -161,9 +174,9 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
 	case AlgoPFW:
 		r, err = uds.PFWCtx(ctx, g.g, opts.Iterations, p)
 	case AlgoExact:
-		r, err = uds.ExactCtx(ctx, g.g)
+		r, err = uds.ExactTraced(ctx, g.g, tr)
 	case AlgoExactPruned:
-		r, err = uds.ExactPrunedCtx(ctx, g.g, p)
+		r, err = uds.ExactPrunedTraced(ctx, g.g, p, tr)
 	case AlgoExactEps:
 		r, err = uds.ExactEpsilonCtx(ctx, g.g, opts.Epsilon, p)
 	default:
@@ -171,6 +184,9 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if tr != nil && tr.Algorithm == "" {
+		tr.SetAlgorithm(r.Algorithm)
 	}
 	return Result{
 		Algorithm:  r.Algorithm,
@@ -206,10 +222,15 @@ func SolveDDS(d *Digraph, algo Algo, opts Options) (res DirectedResult, err erro
 		}
 	}
 	p := opts.Workers
+	tr := opts.Trace
+	if tr != nil {
+		finish := beginTrace(tr)
+		defer finish()
+	}
 	var r dds.Result
 	switch algo {
 	case AlgoPWC:
-		r = dds.PWC(d.d, p)
+		r = dds.PWCTraced(d.d, p, tr)
 	case AlgoPXY:
 		r = dds.PXY(d.d, p)
 	case AlgoPBS:
@@ -231,6 +252,9 @@ func SolveDDS(d *Digraph, algo Algo, opts Options) (res DirectedResult, err erro
 	}
 	if err != nil {
 		return DirectedResult{}, err
+	}
+	if tr != nil && tr.Algorithm == "" {
+		tr.SetAlgorithm(r.Algorithm)
 	}
 	return DirectedResult{
 		Algorithm:  r.Algorithm,

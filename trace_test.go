@@ -1,0 +1,131 @@
+package dsd_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// plantedDense builds a graph whose densest subgraph is a planted clique on
+// k vertices, padded with a long pendant chain. The chain is the adversarial
+// input for h-index convergence: degree information propagates one hop per
+// Jacobi sweep, so full convergence (Local) needs a number of sweeps linear
+// in the chain length while PKMC's Theorem-1 early stop fires as soon as
+// h_max — pinned by the clique — stabilizes.
+func plantedDense(k, chain int) *dsd.Graph {
+	var edges []dsd.Edge
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, dsd.Edge{U: int32(u), V: int32(v)})
+		}
+	}
+	prev := int32(0) // chain hangs off clique vertex 0
+	for i := 0; i < chain; i++ {
+		next := int32(k + i)
+		edges = append(edges, dsd.Edge{U: prev, V: next})
+		prev = next
+	}
+	return dsd.NewGraph(k+chain, edges)
+}
+
+func hasPhase(tr *dsd.Trace, name string) bool {
+	for _, p := range tr.Phases {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPKMCEarlyStopTrace asserts the observability contract of the PKMC
+// trace on a planted-dense-subgraph input: the early stop fires, is recorded
+// on the final iteration, and cuts the sweep count below full convergence.
+func TestPKMCEarlyStopTrace(t *testing.T) {
+	g := plantedDense(12, 120)
+
+	pkmcTr := &dsd.Trace{}
+	res, err := dsd.SolveUDS(g, dsd.AlgoPKMC, dsd.Options{Trace: pkmcTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTr := &dsd.Trace{}
+	if _, err := dsd.SolveUDS(g, dsd.AlgoLocal, dsd.Options{Trace: localTr}); err != nil {
+		t.Fatal(err)
+	}
+
+	if pkmcTr.Algorithm != "PKMC" {
+		t.Fatalf("trace algorithm = %q", pkmcTr.Algorithm)
+	}
+	if !pkmcTr.EarlyStop {
+		t.Fatal("PKMC did not record a Theorem-1 early stop on the planted input")
+	}
+	n := len(pkmcTr.Iterations)
+	if n == 0 {
+		t.Fatal("PKMC trace has no iteration log")
+	}
+	if !pkmcTr.Iterations[n-1].EarlyStop {
+		t.Fatalf("early stop not flagged on the final iteration: %+v", pkmcTr.Iterations[n-1])
+	}
+	// The iteration bound: early stop must beat Local's full convergence,
+	// which the 120-vertex chain stretches to dozens of sweeps.
+	full := len(localTr.Iterations)
+	if full == 0 {
+		t.Fatal("Local trace has no iteration log")
+	}
+	if n >= full {
+		t.Fatalf("early stop did not help: PKMC %d sweeps vs Local %d", n, full)
+	}
+	// The h-index ceiling is pinned by the planted clique: h_max = k* = 11.
+	if last := pkmcTr.Iterations[n-1]; last.HMax != res.KStar {
+		t.Fatalf("final h_max = %d, want k* = %d", last.HMax, res.KStar)
+	}
+
+	// Phase timings and runtime counters round out the record.
+	for _, phase := range []string{"core-decomposition", "density-evaluation", "total"} {
+		if !hasPhase(pkmcTr, phase) {
+			t.Fatalf("missing phase %q in %+v", phase, pkmcTr.Phases)
+		}
+	}
+	if pkmcTr.PhaseSeconds("total") <= 0 {
+		t.Fatalf("total phase has no wall time: %+v", pkmcTr.Phases)
+	}
+	if pkmcTr.Parallel.Regions == 0 {
+		t.Fatal("parallel-runtime counters not collected")
+	}
+
+	// Tracing must not change the answer.
+	bare, err := dsd.SolveUDS(g, dsd.AlgoPKMC, dsd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Density != res.Density || bare.KStar != res.KStar {
+		t.Fatalf("traced solve diverged: %v/%v vs %v/%v", res.Density, res.KStar, bare.Density, bare.KStar)
+	}
+}
+
+// TestTraceDDS pins the DDS side of the observability layer: PWC's phase
+// split and arc counters through the public API.
+func TestTraceDDS(t *testing.T) {
+	d := dsd.NewDigraph(6, []dsd.Edge{
+		{U: 4, V: 2}, {U: 4, V: 3}, {U: 5, V: 2}, {U: 5, V: 3}, {U: 0, V: 1},
+	})
+	tr := &dsd.Trace{}
+	res, err := dsd.SolveDDS(d, dsd.AlgoPWC, dsd.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Algorithm != "PWC" {
+		t.Fatalf("trace algorithm = %q", tr.Algorithm)
+	}
+	for _, phase := range []string{"wstar-decomposition", "cnpair-search", "core-extraction", "total"} {
+		if !hasPhase(tr, phase) {
+			t.Fatalf("missing phase %q in %+v", phase, tr.Phases)
+		}
+	}
+	if tr.Counters["arcs_input"] != d.M() {
+		t.Fatalf("arcs_input = %d, want %d", tr.Counters["arcs_input"], d.M())
+	}
+	if res.Density <= 0 {
+		t.Fatalf("density = %v", res.Density)
+	}
+}
