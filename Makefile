@@ -3,20 +3,33 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz fuzz-smoke bench bench-json repro figures datasets examples serve clean
+.PHONY: all build vet lint test race cover fuzz fuzz-smoke bench bench-json repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, and the HTTP service.
 RACE_PKGS = ./internal/parallel ./internal/core ./internal/dds \
             ./internal/faultinject ./internal/graph ./internal/server
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
+# Default vet, then a second pass that names the analyzers this codebase
+# leans on hardest — copylocks (mutexes embedded in copied structs),
+# atomic (broken x = atomic.Add(&x) patterns) and loopclosure (captured
+# loop variables) — explicitly, so a future change to vet's default set
+# can never silently drop them.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -atomic -loopclosure ./...
+
+# The project-specific static-analysis suite: proves the parallel
+# runtime's invariants (atomic captured writes, context polling, probe
+# registry, trace nil-safety, atomic/plain mixing). See DESIGN.md's
+# "Static analysis" section and `go run ./cmd/dsdlint -list`.
+lint:
+	$(GO) run ./cmd/dsdlint ./...
 
 test: vet
 	$(GO) test ./...

@@ -1,0 +1,122 @@
+// Command dsdlint runs this repository's static-analysis suite: the
+// analyzers under internal/analysis that prove the parallel runtime's
+// invariants (see `dsdlint -list` and DESIGN.md's "Static analysis"
+// section).
+//
+// Usage:
+//
+//	dsdlint [-list] [-run name,name] [packages]
+//
+// With no package patterns it analyzes ./... relative to the enclosing
+// module. Diagnostics print as file:line:col: analyzer: message and any
+// finding makes the process exit 1; load or type-check failures exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", "", "run as if started in this directory (default: the enclosing module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := all.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "dsdlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root := *dir
+	if root == "" {
+		var err error
+		if root, err = moduleRoot(); err != nil {
+			fmt.Fprintf(stderr, "dsdlint: %v\n", err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsdlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsdlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, shortenPath(root, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dsdlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// shortenPath prints diagnostics with module-relative paths so output is
+// stable across checkouts.
+func shortenPath(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -28,7 +28,7 @@ func chaosDigraph() *dsd.Digraph {
 // the worker's stack attached, instead of escaping to the caller.
 func TestSolvePanicBecomesErrInternal(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
-	faultinject.Arm("parallel.for.chunk", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+	faultinject.Arm(faultinject.SiteParallelForChunk, faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
 
 	_, err := dsd.SolveUDS(chaosGraph(), "", dsd.Options{Workers: 4})
 	if err == nil {
@@ -62,7 +62,7 @@ func TestSolvePanicBecomesErrInternal(t *testing.T) {
 // TestSolveDDSPanicBecomesErrInternal is the directed-family analog.
 func TestSolveDDSPanicBecomesErrInternal(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
-	faultinject.Arm("parallel.for.chunk", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+	faultinject.Arm(faultinject.SiteParallelForChunk, faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
 
 	_, err := dsd.SolveDDS(chaosDigraph(), "", dsd.Options{Workers: 4})
 	if err == nil {

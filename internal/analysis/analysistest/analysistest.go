@@ -1,0 +1,233 @@
+// Package analysistest runs one analyzer over a golden package under
+// internal/analysis/testdata/src and compares the diagnostics it emits
+// against `// want "regexp"` comments in the sources — the same idea as
+// golang.org/x/tools' analysistest, rebuilt on the stdlib so the module
+// stays dependency-free.
+//
+// Golden packages live at testdata/src/<import-path>/ and are
+// type-checked AS that import path, which is what lets a stub package
+// stand in for repro/internal/trace when testing the tracenil analyzer.
+// Imports inside a golden package resolve first against other testdata
+// packages, then against the real module's compiler export data, so
+// golden code can call the genuine repro/internal/parallel API.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// moduleExports returns the real module's export-data map (shared across
+// all golden tests in the process; `go list -export` is not free).
+func moduleExports(t *testing.T, root string) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = analysis.ListExports(root, "./...")
+	})
+	if exportsErr != nil {
+		t.Fatalf("listing module export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// srcImporter resolves imports from testdata/src first, falling back to
+// the module's export data. Testdata packages are type-checked from
+// source on first import and cached.
+type srcImporter struct {
+	srcRoot  string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*types.Package
+	loadErr  map[string]error
+}
+
+func (imp *srcImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.cache[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := imp.loadErr[path]; ok {
+		return nil, err
+	}
+	// A testdata directory shadows the real package only when it actually
+	// holds sources; bare intermediate directories (testdata/src/repro on
+	// the way to a stub) fall through to the module's export data.
+	dir := filepath.Join(imp.srcRoot, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		loaded, err := loadSrcPackage(imp.fset, dir, path, imp)
+		if err != nil {
+			imp.loadErr[path] = err
+			return nil, err
+		}
+		imp.cache[path] = loaded.Types
+		return loaded.Types, nil
+	}
+	return imp.fallback.Import(path)
+}
+
+// hasGoFiles reports whether dir directly contains at least one .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadSrcPackage parses and type-checks every .go file of a testdata
+// package directory under the given import path.
+func loadSrcPackage(fset *token.FileSet, dir, path string, imp types.Importer) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	files, err := analysis.ParseDir(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	name := files[0].Name.Name
+	return analysis.TypeCheck(fset, path, name, files, imp)
+}
+
+// Run loads the golden package at testdata/src/<pkgPath>, applies the
+// analyzer, and fails the test on any mismatch between reported
+// diagnostics and the `// want` expectations in its sources.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	root := moduleRoot(t)
+	srcRoot := filepath.Join(root, "internal", "analysis", "testdata", "src")
+	fset := token.NewFileSet()
+	imp := &srcImporter{
+		srcRoot:  srcRoot,
+		fset:     fset,
+		fallback: analysis.NewExportImporter(fset, moduleExports(t, root)),
+		cache:    map[string]*types.Package{},
+		loadErr:  map[string]error{},
+	}
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	pkg, err := loadSrcPackage(fset, dir, pkgPath, imp)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	check(t, fset, pkg.Files, diags)
+}
+
+// want is one expectation: a diagnostic matching rx on file:line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts `// want "rx" ["rx" ...]` expectations from the
+// golden sources.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					text, err := strconv.Unquote(`"` + q[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %q: %v", pos, q[1], err)
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, text, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// check matches diagnostics against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

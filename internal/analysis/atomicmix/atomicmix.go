@@ -1,0 +1,167 @@
+// Package atomicmix rejects mixing sync/atomic and plain accesses to the
+// same memory.
+//
+// The typed atomics (atomic.Int64 and friends) make this mistake
+// impossible — their value is unexported — but the function-style API
+// (atomic.AddInt64(&x, 1)) protects nothing: the same x can be read or
+// written directly one line later, and that pair is a data race the
+// moment the atomic side runs concurrently. The Go memory model is
+// explicit that a variable accessed atomically anywhere must be accessed
+// atomically everywhere. This analyzer marks every variable or struct
+// field whose address is taken by a sync/atomic call and reports each
+// plain (non-atomic) read or write of the same object elsewhere in the
+// package. Composite-literal keys are exempt: initialization completes
+// before the value is shared.
+//
+// Prefer the typed atomics in new code; this pass exists so the
+// function-style escape hatch cannot silently rot.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable or field passed to sync/atomic anywhere must never be " +
+		"read or written non-atomically elsewhere",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is the
+// address of the shared word.
+var atomicFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFuncs[op+ty] = true
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every object whose address feeds a sync/atomic call is an
+	// atomic word; remember the sanctioned &x argument nodes so pass 2
+	// does not report the marking sites themselves.
+	marked := map[types.Object]string{} // object -> one atomic site, for the message
+	sanctioned := map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := analysis.CalleeObject(pass.Info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !atomicFuncs[obj.Name()] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return true
+			}
+			target, id := resolveAddr(pass, addr.X)
+			if target == nil {
+				return true
+			}
+			if _, seen := marked[target]; !seen {
+				marked[target] = pass.Fset.Position(call.Pos()).String()
+			}
+			if id != nil {
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of a marked object is a plain access racing
+	// with the atomic ones.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			site, isMarked := marked[obj]
+			if !isMarked || isCompositeLitKey(stack) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"non-atomic access to %s, which is accessed with sync/atomic at %s: mixed plain and atomic use of the same word is a data race",
+				describe(obj), site)
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveAddr maps the operand of &x to the variable or field object it
+// denotes, plus the identifier that names it (for sanctioning).
+func resolveAddr(pass *analysis.Pass, e ast.Expr) (types.Object, *ast.Ident) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+			return v, x
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v, x.Sel
+			}
+		}
+		// Qualified package-level var (pkg.X).
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok {
+			return v, x.Sel
+		}
+	case *ast.IndexExpr:
+		// &s[i]: per-element atomics on a slice; the element object is not
+		// a single named word, so the mix check cannot track it.
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// isCompositeLitKey reports whether the innermost identifier sits in key
+// position of a composite literal (struct initialization).
+func isCompositeLitKey(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != stack[len(stack)-1] {
+		return false
+	}
+	_, inLit := stack[len(stack)-3].(*ast.CompositeLit)
+	return inLit
+}
+
+// describe names the object the way a reader would: pkg-level vars by
+// name, fields as type.field.
+func describe(obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	if strings.Contains(obj.Name(), ".") {
+		return obj.Name()
+	}
+	return "variable " + obj.Name()
+}

@@ -1,0 +1,130 @@
+// Package ctxpoll verifies that exported entry points taking dsd.Options
+// actually honor the context the caller put into it.
+//
+// Options.Ctx is this module's cooperative-cancellation channel: the CLI
+// timeout, the HTTP service's request deadline, and every chaos test rely
+// on solvers polling it. The compiler cannot tell a function that threads
+// the context from one that silently drops it — both type-check — so an
+// exported function accepting an Options value must either read its Ctx
+// field or forward the options value to a callee that does. Anything
+// else makes cancellation a no-op for that entry point, which surfaces
+// only in production as a request that cannot be timed out.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// optionsPkg/optionsName identify the dsd.Options type by its canonical
+// import path, so the check survives renames of the local alias at call
+// sites.
+const (
+	optionsPkg  = "repro"
+	optionsName = "Options"
+)
+
+// Analyzer is the ctxpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "exported entry points taking dsd.Options must read Options.Ctx or " +
+		"forward the options value — dropping it disables cancellation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			for _, param := range optionsParams(pass, fn) {
+				if !usesCtx(pass, fn.Body, param) {
+					pass.Reportf(fn.Name.Pos(),
+						"exported %s takes dsd.Options (%s) but never reads %s.Ctx or forwards it: cancellation is silently dropped",
+						fn.Name.Name, param.Name(), param.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// optionsParams returns the named parameters of fn whose type is
+// dsd.Options (possibly behind a pointer).
+func optionsParams(pass *analysis.Pass, fn *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok || obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == optionsPkg && tn.Name() == optionsName {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// usesCtx reports whether body reads param.Ctx or passes param itself
+// onward (to a helper, a struct literal that a helper receives, etc.).
+// Either pattern keeps the context alive; the analyzer does not attempt
+// to prove the callee polls it — that callee has its own pass.
+func usesCtx(pass *analysis.Pass, body *ast.BlockStmt, param *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			base, ok := ast.Unparen(n.X).(*ast.Ident)
+			if ok && n.Sel.Name == "Ctx" && pass.Info.ObjectOf(base) == param {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.ObjectOf(id) == param {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// `o := opts` keeps the whole value (and its Ctx) flowing.
+			for _, rhs := range n.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && pass.Info.ObjectOf(id) == param {
+					found = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && pass.Info.ObjectOf(id) == param {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

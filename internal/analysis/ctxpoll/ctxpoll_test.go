@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxpoll"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "ctxpoll")
+}

@@ -1,0 +1,20 @@
+// Package analysis is a lightweight static-analysis framework for this
+// repository, built entirely on the standard library's go/parser, go/ast
+// and go/types (no golang.org/x/tools dependency, preserving the module's
+// stdlib-only rule).
+//
+// The parallel runtime's correctness rests on invariants the Go compiler
+// never checks: shared counters must go through sync/atomic, worker
+// closures handed to internal/parallel must only write index-disjoint
+// slice elements (or hold a mutex), solver entry points must poll
+// Options.Ctx, faultinject probe sites must use registered names, and
+// trace.Trace methods must stay nil-safe. The analyzers under
+// internal/analysis/... turn each of those into a build-time error.
+//
+// An Analyzer is a named Run function over a type-checked package (a
+// Pass). Load shells out to `go list -export -deps -json`, parses the
+// requested packages from source, and type-checks them against the
+// compiler's export data, so analyses see exactly the types the build
+// does — with zero third-party code. The cmd/dsdlint driver wires the
+// full suite together; `make lint` runs it over the module.
+package analysis

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and fully type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string // directory holding the sources
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and
+// returns the decoded package stream. -export makes the go tool write
+// compiler export data for every listed package into the build cache and
+// report the file path, which is what lets the type checker resolve
+// imports without golang.org/x/tools: the stdlib gc importer can read
+// those files directly.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ListExports returns the importPath -> export-data-file map for patterns
+// and all their dependencies. It is exposed for test harnesses that build
+// their own importer chains.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves import paths
+// through compiler export data files (as produced by `go list -export`).
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo returns a types.Info with every side table the analyzers use
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck parses files (paths or name->src pairs already parsed by the
+// caller) and type-checks them as the package with the given import path,
+// resolving imports through imp. It is the single-package core that both
+// Load and the analysistest harness share.
+func TypeCheck(fset *token.FileSet, path, name string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	return &Package{
+		Path:  path,
+		Name:  name,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ParseDir parses the named Go files of dir with comments into fset.
+func ParseDir(fset *token.FileSet, dir string, goFiles []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	return files, nil
+}
+
+// Load loads, parses and type-checks the packages matched by patterns
+// (but not their dependencies, which are resolved from export data) in
+// module directory dir. Test files are not included: the invariants the
+// suite proves are production-code invariants, and `go list`'s GoFiles
+// field carries exactly the production compilation unit.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+
+	var pkgs []*Package
+	var loadErrs []string
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			loadErrs = append(loadErrs, err.Error())
+			continue
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, lp.Name, files, imp)
+		if err != nil {
+			loadErrs = append(loadErrs, err.Error())
+			continue
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("loading packages:\n%s", strings.Join(loadErrs, "\n"))
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadTypeChecks loads a real package of this module and verifies the
+// loader produced genuine type information, not just syntax: the
+// pipeline go list -export → parse → types.Check is what every analyzer
+// stands on.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "repro/internal/trace" || pkg.Name != "trace" {
+		t.Fatalf("loaded %s (package %s), want repro/internal/trace (trace)", pkg.Path, pkg.Name)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Trace") == nil {
+		t.Fatal("type information is missing the Trace type")
+	}
+	// Every identifier in the sources must resolve: spot-check that the
+	// Uses/Defs tables are populated rather than empty shells.
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Fatalf("types.Info is unpopulated: %d defs, %d uses", len(pkg.Info.Defs), len(pkg.Info.Uses))
+	}
+}
+
+// TestLoadMultiplePackages checks pattern expansion and that packages
+// arrive sorted by import path.
+func TestLoadMultiplePackages(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/trace", "./internal/cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].Path != "repro/internal/cancel" || pkgs[1].Path != "repro/internal/trace" {
+		t.Fatalf("unexpected order: %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+}
+
+// TestRunReportsSorted verifies diagnostics come back ordered by file,
+// line, column regardless of analyzer emission order.
+func TestRunReportsSorted(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backwards := &Analyzer{
+		Name: "backwards",
+		Doc:  "reports every file's package clause, iterating in reverse",
+		Run: func(p *Pass) error {
+			for i := len(p.Files) - 1; i >= 0; i-- {
+				p.Reportf(p.Files[i].Name.Pos(), "pkg clause")
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, []*Analyzer{backwards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("want >= 2 diagnostics (package has multiple files), got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Filename < diags[i-1].Pos.Filename {
+			t.Fatalf("diagnostics unsorted: %s before %s", diags[i-1].Pos.Filename, diags[i].Pos.Filename)
+		}
+	}
+}
+
+// TestCalleeObject covers the helper on a hand-built file.
+func TestCalleeObject(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(repoRoot(t), "./internal/cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fset
+	pkg := pkgs[0]
+	found := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := CalleeObject(pkg.Info, call); obj != nil {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("CalleeObject resolved no calls in internal/cancel")
+	}
+}

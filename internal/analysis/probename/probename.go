@@ -1,0 +1,203 @@
+// Package probename keeps the fault-injection probe namespace honest.
+//
+// A faultinject.Hit/Fire site and the chaos test that arms it agree on
+// nothing but a string. Misspell it on either side and the fault never
+// fires: the test silently degrades into a no-op that passes forever.
+// The defense is a single registry — the Site* constants and the Sites()
+// table in internal/faultinject — and this analyzer, which enforces:
+//
+//  1. every Hit/Fire call site outside the faultinject package names its
+//     probe through one of the registered Site* constants (no raw
+//     literals, no locally-defined constants, no computed strings);
+//  2. inside internal/faultinject, the Site* constants are pairwise
+//     distinct (two probes sharing a name are indistinguishable when
+//     armed); and
+//  3. the Sites() table lists exactly the Site* constants, so
+//     registry-driven chaos coverage tests cannot quietly miss a probe.
+package probename
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// faultPkg is the canonical import path of the probe registry.
+const faultPkg = "repro/internal/faultinject"
+
+// sitePrefix is the naming convention for registered probe constants.
+const sitePrefix = "Site"
+
+// Analyzer is the probename pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "probename",
+	Doc: "faultinject.Hit/Fire sites must use registered faultinject.Site* " +
+		"constants, and the Sites() table must match them exactly",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkCallSites(pass)
+	if pass.Pkg != nil && pass.Pkg.Path() == faultPkg {
+		checkRegistry(pass)
+	}
+	return nil
+}
+
+// checkCallSites enforces rule 1 on every Hit/Fire call in the package.
+func checkCallSites(pass *analysis.Pass) {
+	inFaultPkg := pass.Pkg != nil && pass.Pkg.Path() == faultPkg
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !analysis.IsPkgFunc(pass.Info, call, faultPkg, "Hit") &&
+				!analysis.IsPkgFunc(pass.Info, call, faultPkg, "Fire") {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				// Inside the registry package itself, Hit/Fire wrappers
+				// forward their own `site` parameter; that plumbing is not
+				// a probe site.
+				if inFaultPkg && isPlainVar(pass, arg) {
+					return true
+				}
+				pass.Reportf(arg.Pos(),
+					"probe name must be a compile-time string constant from the faultinject registry, not a computed value")
+				return true
+			}
+			if c := siteConst(pass, arg); c == nil {
+				pass.Reportf(arg.Pos(),
+					"probe name %s is not a registered faultinject.%s* constant; a typo here silently disables the chaos test that arms it",
+					tv.Value.ExactString(), sitePrefix)
+			} else if inFaultPkg && !strings.HasPrefix(c.Name(), sitePrefix) {
+				pass.Reportf(arg.Pos(),
+					"probe constant %s does not follow the %s* registry convention", c.Name(), sitePrefix)
+			}
+			return true
+		})
+	}
+}
+
+// isPlainVar reports whether e is a bare identifier denoting a variable
+// (e.g. a forwarded function parameter).
+func isPlainVar(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isVar := pass.Info.ObjectOf(id).(*types.Var)
+	return isVar
+}
+
+// siteConst returns the registered Site* constant the expression refers
+// to, or nil when it is a raw literal or a constant from anywhere else.
+func siteConst(pass *analysis.Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, ok := pass.Info.ObjectOf(id).(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != faultPkg {
+		return nil
+	}
+	if !strings.HasPrefix(c.Name(), sitePrefix) {
+		return nil
+	}
+	return c
+}
+
+// checkRegistry enforces rules 2 and 3 inside the faultinject package.
+func checkRegistry(pass *analysis.Pass) {
+	// Collect the Site* constants in source declaration order, so a
+	// duplicate is reported at the later of the two declarations.
+	var sites []*types.Const
+	byValue := map[string]*types.Const{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(name.Name, sitePrefix) {
+						continue
+					}
+					if c.Val().Kind() != constant.String {
+						pass.Reportf(c.Pos(), "probe constant %s must be a string", name.Name)
+						continue
+					}
+					v := constant.StringVal(c.Val())
+					if prev, dup := byValue[v]; dup {
+						pass.Reportf(c.Pos(),
+							"probe constants %s and %s share the value %q: armed faults cannot tell the two probes apart",
+							prev.Name(), name.Name, v)
+						continue
+					}
+					byValue[v] = c
+					sites = append(sites, c)
+				}
+			}
+		}
+	}
+
+	// Find the Sites() registry table and compare value sets.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Sites" || fn.Recv != nil || fn.Body == nil {
+				continue
+			}
+			listed := map[string]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				for _, elt := range lit.Elts {
+					tv, ok := pass.Info.Types[elt]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						pass.Reportf(elt.Pos(), "Sites() entries must be the registered %s* constants", sitePrefix)
+						continue
+					}
+					v := constant.StringVal(tv.Value)
+					if _, registered := byValue[v]; !registered {
+						pass.Reportf(elt.Pos(), "Sites() lists %q, which is not a registered %s* constant", v, sitePrefix)
+					}
+					listed[v] = true
+				}
+				return true
+			})
+			for _, c := range sites {
+				if v := constant.StringVal(c.Val()); !listed[v] {
+					pass.Reportf(fn.Name.Pos(),
+						"Sites() is missing %s (%q): chaos coverage driven by the table will never exercise that probe",
+						c.Name(), v)
+				}
+			}
+			return
+		}
+	}
+	if len(sites) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package declares %s* probe constants but no Sites() registry table", sitePrefix)
+	}
+}

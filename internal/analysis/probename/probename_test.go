@@ -1,0 +1,21 @@
+package probename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/probename"
+)
+
+// TestGoldenCallSites checks rule 1 (call sites must use registered
+// constants) against a consumer package importing the faultinject stub.
+func TestGoldenCallSites(t *testing.T) {
+	analysistest.Run(t, probename.Analyzer, "probename")
+}
+
+// TestGoldenRegistry checks rules 2 and 3 (constant uniqueness, Sites()
+// table completeness) against a stub type-checked as the faultinject
+// package itself.
+func TestGoldenRegistry(t *testing.T) {
+	analysistest.Run(t, probename.Analyzer, "repro/internal/faultinject")
+}

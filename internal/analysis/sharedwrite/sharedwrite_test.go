@@ -1,0 +1,12 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedwrite"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, sharedwrite.Analyzer, "sharedwrite")
+}

@@ -1,0 +1,48 @@
+// Golden input for the atomicmix analyzer: function-style sync/atomic
+// use on a package variable and a struct field, mixed with the plain
+// accesses the Go memory model forbids.
+package atomicmix
+
+import "sync/atomic"
+
+var ops int64
+var untouched int64
+
+func recordAtomic() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func readAtomic() int64 {
+	return atomic.LoadInt64(&ops)
+}
+
+func bumpPlain() {
+	ops++ // want "non-atomic access to variable ops"
+}
+
+func readPlain() int64 {
+	return ops // want "non-atomic access to variable ops"
+}
+
+func plainOnly() int64 {
+	untouched++ // never touched by sync/atomic: allowed
+	return untouched
+}
+
+type counters struct {
+	hits  int64
+	calls int64
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	c.calls++              // plain-only field: allowed
+	return c.hits, c.calls // want "non-atomic access to field hits"
+}
+
+func newCounters() *counters {
+	return &counters{hits: 0, calls: 0} // composite-literal keys: allowed
+}

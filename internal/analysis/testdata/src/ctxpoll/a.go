@@ -1,0 +1,45 @@
+// Golden input for the ctxpoll analyzer, compiled against the real
+// module root package so the Options type is the genuine dsd.Options.
+package ctxpoll
+
+import (
+	"context"
+
+	dsd "repro"
+)
+
+// ReadsCtx polls the context directly: compliant.
+func ReadsCtx(opts dsd.Options) error {
+	ctx := opts.Ctx
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Forwards hands the whole options value to a helper: compliant — the
+// helper's own pass is responsible for what happens next.
+func Forwards(opts dsd.Options) error {
+	return helper(opts)
+}
+
+// ForwardsPtr threads a pointer-typed options parameter.
+func ForwardsPtr(opts *dsd.Options) context.Context {
+	return opts.Ctx
+}
+
+// Drops accepts an Options and uses everything except the context.
+func Drops(opts dsd.Options) int { // want "exported Drops takes dsd.Options"
+	return opts.Workers + opts.Iterations
+}
+
+// DropsPtr drops through a pointer too.
+func DropsPtr(opts *dsd.Options) float64 { // want "exported DropsPtr takes dsd.Options"
+	return opts.Epsilon
+}
+
+// helper is unexported: internal plumbing is outside the contract.
+func helper(opts dsd.Options) error {
+	_ = opts.Workers
+	return nil
+}

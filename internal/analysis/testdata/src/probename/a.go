@@ -1,0 +1,27 @@
+// Golden input for the probename analyzer's call-site rules. The
+// faultinject import resolves to the testdata stub (same registry
+// semantics, seeded registry defects are exercised by the stub's own
+// golden test, not this one).
+package probename
+
+import (
+	"repro/internal/faultinject"
+)
+
+// localSite matches a registered value but is declared in the wrong
+// package: arming code grepping the registry will never find it.
+const localSite = "one"
+
+func compliant() error {
+	faultinject.Fire(faultinject.SiteOne)
+	return faultinject.Hit(faultinject.SiteTwo)
+}
+
+func violations(dynamic string) error {
+	faultinject.Fire("raw.literal")                          // want "not a registered faultinject.Site\\* constant"
+	faultinject.Fire(localSite)                              // want "not a registered faultinject.Site\\* constant"
+	if err := faultinject.Hit("graph.io.txet"); err != nil { // want "not a registered faultinject.Site\\* constant"
+		return err
+	}
+	return faultinject.Hit(dynamic) // want "compile-time string constant"
+}

@@ -1,0 +1,27 @@
+// Golden input for the probename analyzer's registry rules. This stub is
+// type-checked AS repro/internal/faultinject with a deliberately broken
+// registry: duplicate probe values and a Sites() table that both misses
+// a registered constant and lists an unregistered value.
+package faultinject
+
+// The registered probe sites — with seeded defects.
+const (
+	SiteOne = "one"
+	SiteTwo = "two"
+	SiteDup = "one" // want "share the value"
+)
+
+// Sites returns the registry table: it misses SiteTwo and smuggles in a
+// value no constant registers.
+func Sites() []string { // want "Sites\\(\\) is missing SiteTwo"
+	return []string{
+		SiteOne,
+		"rogue", // want "not a registered Site\\* constant"
+	}
+}
+
+// Hit mimics the real probe entry point.
+func Hit(site string) error { return nil }
+
+// Fire mimics the real panic-escalating probe entry point.
+func Fire(site string) {}

@@ -1,0 +1,54 @@
+// Golden input for the tracenil analyzer. This stub is type-checked AS
+// repro/internal/trace (the path the analyzer targets), standing in for
+// the real recorder so guard violations can be seeded without breaking
+// the real package.
+package trace
+
+// Trace mimics the recorder's shape: methods must survive a nil receiver.
+type Trace struct {
+	n      int
+	Phases []string
+}
+
+// Guarded opens with the canonical early-exit guard: compliant.
+func (t *Trace) Guarded(name string) {
+	if t == nil {
+		return
+	}
+	t.Phases = append(t.Phases, name)
+}
+
+// Wrapped guards by wrapping the whole body: compliant.
+func (t *Trace) Wrapped() {
+	if t != nil {
+		t.n++
+	}
+}
+
+// Enabled is the predicate shape (`return t != nil`): compliant.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Constant never touches the receiver, so nil cannot hurt it: compliant.
+func (t *Trace) Constant() int { return 42 }
+
+// Unguarded dereferences an unchecked receiver.
+func (t *Trace) Unguarded() { // want "must begin with a nil-receiver guard"
+	t.n++
+}
+
+// LateGuard checks nil only after the first dereference.
+func (t *Trace) LateGuard() { // want "must begin with a nil-receiver guard"
+	t.n++
+	if t == nil {
+		return
+	}
+}
+
+// ValueRecv cannot be made nil-safe at all: a nil *Trace dereferences
+// before the body runs.
+func (t Trace) ValueRecv() int { // want "value receiver"
+	return t.n
+}
+
+// unexported methods are internal helpers, only reached behind a guard.
+func (t *Trace) reset() { t.n = 0 }

@@ -1,0 +1,84 @@
+// Golden input for the sharedwrite analyzer: every legal synchronization
+// pattern the parallel runtime's contract allows, next to each shape of
+// unsynchronized captured write it must reject.
+package sharedwrite
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+func legalPatterns(n, p int) int64 {
+	out := make([]int64, n)
+	var total atomic.Int64
+	var mu sync.Mutex
+	var collected []int64
+
+	parallel.For(n, p, func(i int) {
+		out[i] = int64(i) // per-index slice element store: allowed
+		local := int64(i) // locals are not captured
+		local++
+		total.Add(local) // typed atomic: allowed
+	})
+
+	parallel.ForBlocks(n, p, 0, func(lo, hi int) {
+		var batch []int64
+		for i := lo; i < hi; i++ {
+			batch = append(batch, int64(i))
+		}
+		mu.Lock()
+		collected = append(collected, batch...) // mutex-guarded: allowed
+		mu.Unlock()
+	})
+
+	return total.Load() + int64(len(collected))
+}
+
+func illegalPatterns(n, p int) int {
+	var counter int
+	var sum int64
+	hist := map[int]int{}
+	ptr := &sum
+
+	parallel.For(n, p, func(i int) {
+		counter++       // want "unsynchronized write to captured variable counter"
+		sum += int64(i) // want "unsynchronized write to captured variable sum"
+		hist[i%4]++     // want "write to captured map hist"
+		*ptr = int64(i) // want "write through captured pointer ptr"
+	})
+
+	parallel.Workers(p, func(w int) {
+		counter = w // want "unsynchronized write to captured variable counter"
+	})
+
+	parallel.ForBlocks(n, p, 0, func(lo, hi int) {
+		flush := func() {
+			counter = hi // want "unsynchronized write to captured variable counter"
+		}
+		flush()
+	})
+
+	return counter
+}
+
+type state struct{ hits int64 }
+
+func fieldWrite(n, p int, s *state) {
+	parallel.For(n, p, func(i int) {
+		s.hits++ // want "unsynchronized write to captured variable s"
+	})
+}
+
+func unlockReleasesGuard(n, p int) int {
+	var mu sync.Mutex
+	var shared int
+	parallel.ForBlocks(n, p, 0, func(lo, hi int) {
+		mu.Lock()
+		shared = lo // guarded: allowed
+		mu.Unlock()
+		shared = hi // want "unsynchronized write to captured variable shared"
+	})
+	return shared
+}

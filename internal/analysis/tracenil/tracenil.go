@@ -1,0 +1,183 @@
+// Package tracenil proves the nil-safety contract of trace.Trace.
+//
+// Solver code threads a possibly-nil *trace.Trace through every hot path
+// unconditionally — that is the whole design: recording methods are
+// nil-safe no-ops, so the uninstrumented fast path pays one nil check
+// instead of branching at every call site. The contract is only as good
+// as its weakest method: one exported method that dereferences a nil
+// receiver turns every untraced solve into a panic. This analyzer
+// requires each exported method on *trace.Trace that uses its receiver
+// to open with a nil-receiver guard (an `if t == nil`/`if t != nil`
+// first statement, or a `return t != nil`-style comparison), and rejects
+// value receivers outright, since calling one on a nil pointer
+// dereferences before the body can guard anything.
+package tracenil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// tracePkg/traceType identify the recorder type the contract covers.
+const (
+	tracePkg  = "repro/internal/trace"
+	traceType = "Trace"
+)
+
+// Analyzer is the tracenil pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracenil",
+	Doc: "exported methods on *trace.Trace must begin with a nil-receiver " +
+		"guard so a disabled trace stays a no-op instead of a panic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Path() != tracePkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recv, ptr := receiver(pass, fn)
+			if recv == nil {
+				continue
+			}
+			if !ptr {
+				pass.Reportf(fn.Name.Pos(),
+					"exported method %s uses a value receiver: calling it on a nil *%s dereferences before any guard can run; use a pointer receiver with a nil check",
+					fn.Name.Name, traceType)
+				continue
+			}
+			if !usesReceiver(pass, fn, recv) {
+				continue // cannot dereference what it never touches
+			}
+			if !startsWithNilGuard(pass, fn, recv) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported method %s on *%s.%s must begin with a nil-receiver guard (`if %s == nil` or equivalent): solvers call it on nil traces by design",
+					fn.Name.Name, "trace", traceType, recv.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// receiver returns the receiver variable of fn when its type is
+// trace.Trace, plus whether the receiver is a pointer.
+func receiver(pass *analysis.Pass, fn *ast.FuncDecl) (*types.Var, bool) {
+	if len(fn.Recv.List) != 1 {
+		return nil, false
+	}
+	field := fn.Recv.List[0]
+	var obj *types.Var
+	if len(field.Names) == 1 {
+		obj, _ = pass.Info.Defs[field.Names[0]].(*types.Var)
+	}
+	t := pass.Info.TypeOf(field.Type)
+	ptr := false
+	if p, ok := t.(*types.Pointer); ok {
+		ptr = true
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != traceType {
+		return nil, false
+	}
+	if obj == nil {
+		// Unnamed receiver: the body cannot touch it, so the method is
+		// trivially nil-safe; report value receivers all the same.
+		return types.NewVar(token.NoPos, pass.Pkg, "_", t), ptr
+	}
+	return obj, ptr
+}
+
+// usesReceiver reports whether the body references the receiver at all.
+func usesReceiver(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Var) bool {
+	if recv.Name() == "_" {
+		return false
+	}
+	used := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == recv {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// startsWithNilGuard accepts the two shapes the trace package uses:
+//
+//	if t == nil { return ... }      // early exit
+//	if t != nil { ...whole body }   // guarded body
+//	return t != nil                 // predicate methods (Enabled)
+func startsWithNilGuard(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Var) bool {
+	if len(fn.Body.List) == 0 {
+		return true
+	}
+	switch first := fn.Body.List[0].(type) {
+	case *ast.IfStmt:
+		return guardsNil(pass, first.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, res := range first.Results {
+			ok := false
+			ast.Inspect(res, func(n ast.Node) bool {
+				if e, isExpr := n.(ast.Expr); isExpr && isNilComparison(pass, e, recv) {
+					ok = true
+					return false
+				}
+				return !ok
+			})
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardsNil accepts a bare nil comparison and short-circuit chains whose
+// leftmost operand is one (`t != nil && v > t.X`, `t == nil || done`):
+// && and || evaluate left to right, so the receiver is proven non-nil
+// before anything to its right can dereference it.
+func guardsNil(pass *analysis.Pass, cond ast.Expr, recv *types.Var) bool {
+	for {
+		if isNilComparison(pass, cond, recv) {
+			return true
+		}
+		bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.LAND && bin.Op != token.LOR) {
+			return false
+		}
+		cond = bin.X
+	}
+}
+
+// isNilComparison matches `recv == nil` / `recv != nil` (either operand
+// order).
+func isNilComparison(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false
+	}
+	isRecv := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && pass.Info.ObjectOf(id) == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := pass.Info.ObjectOf(id).(*types.Nil)
+		return isNilObj
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}

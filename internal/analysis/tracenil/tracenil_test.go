@@ -1,0 +1,12 @@
+package tracenil_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracenil"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, tracenil.Analyzer, "repro/internal/trace")
+}

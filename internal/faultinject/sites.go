@@ -1,0 +1,45 @@
+package faultinject
+
+// The probe-site registry. Every faultinject.Hit/Fire call site in the
+// repository must name its site through one of these constants: a typo in
+// a raw string literal silently turns a chaos test into a no-op (the
+// armed fault never matches the misspelled site), so the names live in
+// exactly one place and the probename analyzer in
+// internal/analysis/probename rejects call sites that bypass it. The
+// same analyzer checks that the constants are pairwise distinct and that
+// Sites() lists every one of them.
+const (
+	// SiteParallelForChunk fires once per work chunk claimed by the
+	// parallel For/ForGrain/ForBlocks drivers (and once per region on the
+	// serial fallback).
+	SiteParallelForChunk = "parallel.for.chunk"
+	// SiteParallelWorkers fires once per worker launched by
+	// parallel.Workers (and once on the serial fallback).
+	SiteParallelWorkers = "parallel.workers"
+	// SiteGraphIOText fires per buffered line batch while parsing text
+	// edge lists.
+	SiteGraphIOText = "graph.io.text"
+	// SiteGraphIOHeader fires after a binary graph header is read, before
+	// the payload.
+	SiteGraphIOHeader = "graph.io.header"
+	// SiteGraphIOEdges fires per chunked binary edge read.
+	SiteGraphIOEdges = "graph.io.edges"
+	// SiteRegistryLoad fires after a server registry load has parsed its
+	// graph, just before the entry is published.
+	SiteRegistryLoad = "registry.load"
+)
+
+// Sites returns every registered probe-site name. Chaos tests iterate it
+// to prove that each probe is reachable (a registered-but-dead probe is
+// as useless as a misspelled one), and the probename analyzer checks it
+// stays in sync with the constants above.
+func Sites() []string {
+	return []string{
+		SiteParallelForChunk,
+		SiteParallelWorkers,
+		SiteGraphIOText,
+		SiteGraphIOHeader,
+		SiteGraphIOEdges,
+		SiteRegistryLoad,
+	}
+}

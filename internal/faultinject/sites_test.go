@@ -1,0 +1,40 @@
+package faultinject
+
+import "testing"
+
+// TestSitesRegistryDistinct pins the registry's core property at test
+// time as well as lint time (the probename analyzer proves it statically;
+// this keeps the guarantee even for builds that skip `make lint`): every
+// registered probe name is non-empty and unique, so arming one site can
+// never affect another.
+func TestSitesRegistryDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, site := range Sites() {
+		if site == "" {
+			t.Fatal("registry contains an empty probe name")
+		}
+		if seen[site] {
+			t.Fatalf("probe name %q registered twice", site)
+		}
+		seen[site] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("registry is empty")
+	}
+}
+
+// TestSitesArmable checks every registered site round-trips through the
+// arm/hit/disarm machinery under its registered name.
+func TestSitesArmable(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, site := range Sites() {
+		Arm(site, Fault{Mode: ModeDelay})
+		if err := Hit(site); err != nil {
+			t.Fatalf("armed delay fault at %s returned error: %v", site, err)
+		}
+		if Hits(site) != 1 {
+			t.Fatalf("site %s: hits = %d, want 1", site, Hits(site))
+		}
+		Disarm(site)
+	}
+}

@@ -62,7 +62,7 @@ const (
 // number of distinct vertices, and the original ids (ids[i] is the original
 // id of compact vertex i).
 func ReadEdgeList(r io.Reader) (edges []Edge, n int, ids []int64, err error) {
-	if err := faultinject.Hit("graph.io.text"); err != nil {
+	if err := faultinject.Hit(faultinject.SiteGraphIOText); err != nil {
 		return nil, 0, nil, err
 	}
 	sc := bufio.NewScanner(r)
@@ -236,7 +236,7 @@ func readFull(r *bufio.Reader, buf []byte, crc hash.Hash32) error {
 // readBinaryHeader consumes and validates the magic and header. crc is
 // non-nil for v2 files and already contains the magic bytes.
 func readBinaryHeader(r *bufio.Reader) (directed bool, n int, m int64, crc hash.Hash32, err error) {
-	if err := faultinject.Hit("graph.io.header"); err != nil {
+	if err := faultinject.Hit(faultinject.SiteGraphIOHeader); err != nil {
 		return false, 0, 0, nil, err
 	}
 	magic := make([]byte, 4)
@@ -282,7 +282,7 @@ func readBinaryHeader(r *bufio.Reader) (directed bool, n int, m int64, crc hash.
 // capacity at most, with the edge slice growing by append as records
 // arrive, so a forged m on a tiny file fails at the first short read.
 func readBinaryEdges(r *bufio.Reader, n int, m int64, crc hash.Hash32) ([]Edge, error) {
-	if err := faultinject.Hit("graph.io.edges"); err != nil {
+	if err := faultinject.Hit(faultinject.SiteGraphIOEdges); err != nil {
 		return nil, err
 	}
 	capHint := m

@@ -119,9 +119,9 @@ func TestMalformedBinaryTable(t *testing.T) {
 		{"endpoint huge", v1Binary(false, 2, [][2]uint32{{0, 0xfffffff0}})},
 		{"negative edge count", forgedV1Header(false, 4, 1<<63)},
 		{"edge count impossible for n", forgedV1Header(false, 4, 1000)},
-		{"forged multi-GB edge count", forgedV1Header(false, 1 << 20, 1<<38)},
+		{"forged multi-GB edge count", forgedV1Header(false, 1<<20, 1<<38)},
 		{"forged giant vertex count", forgedV1Header(false, 0xffffffff, 0)},
-		{"uncorroborated vertex count", forgedV1Header(false, 1 << 30, 0)},
+		{"uncorroborated vertex count", forgedV1Header(false, 1<<30, 0)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -143,7 +143,7 @@ func TestNestedRegionsKeepInnermostStack(t *testing.T) {
 func TestInjectedPanicAtChunkSite(t *testing.T) {
 	faultinject.Reset()
 	defer faultinject.Reset()
-	faultinject.Arm("parallel.for.chunk", faultinject.Fault{Mode: faultinject.ModePanic, Every: 5})
+	faultinject.Arm(faultinject.SiteParallelForChunk, faultinject.Fault{Mode: faultinject.ModePanic, Every: 5})
 	wp := recoverWorkerPanic(func() {
 		For(100_000, 4, func(i int) {})
 	})

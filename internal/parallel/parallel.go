@@ -114,7 +114,7 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		p = n/grain + 1
 	}
 	if p <= 1 {
-		faultinject.Fire("parallel.for.chunk")
+		faultinject.Fire(faultinject.SiteParallelForChunk)
 		for i := 0; i < n; i++ {
 			body(i)
 		}
@@ -134,7 +134,7 @@ func ForGrain(n, p, grain int, body func(i int)) {
 				if start >= n || t.pending() {
 					return
 				}
-				faultinject.Fire("parallel.for.chunk")
+				faultinject.Fire(faultinject.SiteParallelForChunk)
 				end := start + grain
 				if end > n {
 					end = n
@@ -165,7 +165,7 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 		p = n/grain + 1
 	}
 	if p <= 1 {
-		faultinject.Fire("parallel.for.chunk")
+		faultinject.Fire(faultinject.SiteParallelForChunk)
 		body(0, n)
 		recordRegion(n, grain, 1, false)
 		return
@@ -183,7 +183,7 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 				if start >= n || t.pending() {
 					return
 				}
-				faultinject.Fire("parallel.for.chunk")
+				faultinject.Fire(faultinject.SiteParallelForChunk)
 				end := start + grain
 				if end > n {
 					end = n
@@ -204,7 +204,7 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 func Workers(p int, fn func(w int)) {
 	p = Threads(p)
 	if p <= 1 {
-		faultinject.Fire("parallel.workers")
+		faultinject.Fire(faultinject.SiteParallelWorkers)
 		fn(0)
 		recordRegion(1, 1, 1, false)
 		return
@@ -216,7 +216,7 @@ func Workers(p int, fn func(w int)) {
 		go func(w int) {
 			defer wg.Done()
 			defer t.guard()
-			faultinject.Fire("parallel.workers")
+			faultinject.Fire(faultinject.SiteParallelWorkers)
 			fn(w)
 		}(w)
 	}

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/faultinject"
+	"repro/internal/parallel"
 )
 
 // TestChaosInjectedSolvePanics is the headline containment test: with a
@@ -23,7 +26,7 @@ func TestChaosInjectedSolvePanics(t *testing.T) {
 
 	// Every 4th chunk hit panics, at most 6 times total: enough firings
 	// that some requests certainly die, a cap so most certainly survive.
-	faultinject.Arm("parallel.for.chunk", faultinject.Fault{
+	faultinject.Arm(faultinject.SiteParallelForChunk, faultinject.Fault{
 		Mode:  faultinject.ModePanic,
 		Every: 4,
 		Count: 6,
@@ -74,7 +77,7 @@ func TestChaosInjectedSolvePanics(t *testing.T) {
 		}
 	}
 	if failed == 0 {
-		t.Fatalf("no request hit an injected panic (fired=%d)", faultinject.Fired("parallel.for.chunk"))
+		t.Fatalf("no request hit an injected panic (fired=%d)", faultinject.Fired(faultinject.SiteParallelForChunk))
 	}
 	if ok200 == 0 {
 		t.Fatal("every request failed; the firing cap should have spared most")
@@ -101,7 +104,7 @@ func TestChaosRegistryLoadErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	t.Cleanup(faultinject.Reset)
 
-	faultinject.Arm("registry.load", faultinject.Fault{
+	faultinject.Arm(faultinject.SiteRegistryLoad, faultinject.Fault{
 		Mode:  faultinject.ModeError,
 		Every: 1,
 	})
@@ -153,7 +156,7 @@ func TestChaosConcurrentSameNameLoad(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	t.Cleanup(faultinject.Reset)
 
-	faultinject.Arm("registry.load", faultinject.Fault{
+	faultinject.Arm(faultinject.SiteRegistryLoad, faultinject.Fault{
 		Mode:  faultinject.ModeDelay,
 		Every: 1,
 		Delay: 100 * time.Millisecond,
@@ -271,5 +274,53 @@ func TestQueueWaitExpires(t *testing.T) {
 	}
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("503 overloaded without a Retry-After header")
+	}
+}
+
+// TestChaosProbeRegistryCoverage proves the fault-injection registry and
+// the chaos suite cannot drift apart: every probe name returned by
+// faultinject.Sites() is armed (with a harmless zero-delay fault, so hit
+// counting is enabled) and then exercised by a representative operation.
+// A probe added to the registry without a driver here — or a call site
+// whose constant stops matching its registered name — fails this test.
+// The converse direction (every call site uses a registered constant) is
+// proven statically by the probename analyzer under `make lint`.
+func TestChaosProbeRegistryCoverage(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	sites := faultinject.Sites()
+	if len(sites) == 0 {
+		t.Fatal("faultinject.Sites() is empty")
+	}
+	for _, site := range sites {
+		faultinject.Arm(site, faultinject.Fault{Mode: faultinject.ModeDelay})
+	}
+
+	// parallel.for.chunk and parallel.workers: the runtime probes every
+	// chunk and worker body.
+	parallel.ForGrain(4096, 2, 64, func(int) {})
+	parallel.Workers(2, func(int) {})
+
+	// graph.io.text and registry.load: a registry load parses a text edge
+	// list, and the registry probes each load before parsing.
+	r := NewRegistry()
+	if _, err := r.LoadReader("cov", strings.NewReader("0 1\n1 2\n2 0\n"), false, false); err != nil {
+		t.Fatalf("LoadReader: %v", err)
+	}
+
+	// graph.io.header and graph.io.edges: a binary round-trip through the
+	// public API.
+	g := dsd.NewGraph(3, []dsd.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if _, err := dsd.ReadGraphBinary(&buf); err != nil {
+		t.Fatalf("ReadGraphBinary: %v", err)
+	}
+
+	for _, site := range sites {
+		if faultinject.Hits(site) == 0 {
+			t.Errorf("registered probe %s was never exercised by the chaos suite", site)
+		}
 	}
 }

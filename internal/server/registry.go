@@ -137,7 +137,7 @@ func (r *Registry) LoadFile(name, path string, directed, replace bool) (_ *Graph
 		}
 		e.G, e.Stats = g, g.Stats()
 	}
-	if err := faultinject.Hit("registry.load"); err != nil {
+	if err := faultinject.Hit(faultinject.SiteRegistryLoad); err != nil {
 		return nil, err
 	}
 	return r.publish(e, replace)
@@ -164,7 +164,7 @@ func (r *Registry) LoadReader(name string, src io.Reader, directed, replace bool
 		}
 		e.G, e.Stats = g, g.Stats()
 	}
-	if err := faultinject.Hit("registry.load"); err != nil {
+	if err := faultinject.Hit(faultinject.SiteRegistryLoad); err != nil {
 		return nil, err
 	}
 	return r.publish(e, replace)

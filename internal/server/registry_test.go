@@ -76,7 +76,7 @@ func TestRegistryPanicDuringLoad(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
 	r := NewRegistry()
 
-	faultinject.Arm("registry.load", faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
+	faultinject.Arm(faultinject.SiteRegistryLoad, faultinject.Fault{Mode: faultinject.ModePanic, Every: 1})
 	var recovered any
 	func() {
 		defer func() { recovered = recover() }()
@@ -86,7 +86,7 @@ func TestRegistryPanicDuringLoad(t *testing.T) {
 	if !ok {
 		t.Fatalf("recovered %T (%v), want *faultinject.InjectedPanic re-raised", recovered, recovered)
 	}
-	if ip.Site != "registry.load" {
+	if ip.Site != faultinject.SiteRegistryLoad {
 		t.Fatalf("panic site = %q, want registry.load", ip.Site)
 	}
 
