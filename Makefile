@@ -3,12 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz fuzz-smoke bench bench-json repro figures datasets examples serve clean
+.PHONY: all build vet lint test race cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
-# families, the fault injector, graph I/O, and the HTTP service.
+# families, the fault injector, graph I/O, the live-mutation subsystem, and
+# the HTTP service (whose chaos suite interleaves mutations with solves).
 RACE_PKGS = ./internal/parallel ./internal/core ./internal/dds \
-            ./internal/faultinject ./internal/graph ./internal/server
+            ./internal/faultinject ./internal/graph ./internal/live \
+            ./internal/server
 
 all: build vet lint test
 
@@ -62,7 +64,13 @@ bench:
 # (schema documented in DESIGN.md). Tiny scale so it finishes in seconds;
 # raise -scale for a real measurement run.
 bench-json:
-	$(GO) run ./cmd/dsdbench -json -exp datasets -scale 0.01
+	$(GO) run ./cmd/dsdbench -json -exp datasets,live -scale 0.01
+
+# End-to-end smoke of the live-graph serving path: load live over HTTP,
+# mutate, and check the standing densest answer against a from-scratch
+# solve — the fastest proof the streaming subsystem still works.
+live-smoke:
+	$(GO) test -run 'TestLiveHTTPRoundTrip|TestApplyEquivalenceRandomized' ./internal/server ./internal/live
 
 # Regenerate every table and figure of the paper's evaluation as text
 # tables (EXPERIMENTS.md documents the expected shapes).

@@ -11,7 +11,9 @@
 //
 // Experiments: datasets (Tables 4/5), exp1 (Fig 5), exp2 (Table 6),
 // exp3 (Fig 6), exp4 (Fig 7), exp5 (Fig 8), exp6 (Table 7), exp7 (Fig 9),
-// exp8 (Fig 10), ratios (approximation quality vs exact).
+// exp8 (Fig 10), ratios (approximation quality vs exact), live (mutation
+// replay: incremental k*-core repair vs full BZ recompute per batch size,
+// -mut-batches to pick the sizes).
 //
 // -json switches from rendered tables to the versioned benchmark artifact:
 // a BENCH_<timestamp>.json file (schema_version, run metadata, measurement
@@ -42,11 +44,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		exps    = fs.String("exp", "all", "comma-separated experiments (all | datasets | exp1..exp8 | ratios | extensions)")
+		exps    = fs.String("exp", "all", "comma-separated experiments (all | datasets | exp1..exp8 | ratios | live | extensions)")
 		scale   = fs.Float64("scale", 0.1, "dataset scale multiplier")
 		workers = fs.Int("p", 0, "default thread count (0 = GOMAXPROCS)")
 		budget  = fs.Duration("budget", 30*time.Second, "per-run budget for slow baselines")
 		threads = fs.String("threads", "", "comma-separated thread sweep for exp3/exp7 (default 1,2,4,8)")
+		mutB    = fs.String("mut-batches", "", "comma-separated mutation batch sizes for the live replay (default 1,16,128,1024)")
 		chart   = fs.Bool("chart", false, "render figures as ASCII charts instead of tables")
 		asJSON  = fs.Bool("json", false, "write a versioned BENCH_<timestamp>.json report instead of tables (overrides -chart)")
 		outDir  = fs.String("out", ".", "directory for the -json report file")
@@ -63,6 +66,15 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("bad -threads entry %q", part)
 			}
 			cfg.ThreadSweep = append(cfg.ThreadSweep, p)
+		}
+	}
+	if *mutB != "" {
+		for _, part := range strings.Split(*mutB, ",") {
+			var b int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &b); err != nil || b < 1 {
+				return fmt.Errorf("bad -mut-batches entry %q", part)
+			}
+			cfg.MutBatches = append(cfg.MutBatches, b)
 		}
 	}
 
@@ -92,6 +104,7 @@ func run(args []string, w io.Writer) error {
 		collect("exp7", bench.Exp7)
 		collect("exp8", bench.Exp8)
 		collect("ratios", bench.Ratios)
+		collect("live", bench.LiveReplay)
 		if selected["extensions"] {
 			all = append(all, bench.Extensions(cfg)...)
 			ran = append(ran, "extensions")
@@ -171,6 +184,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if run("ratios") {
 		bench.FormatRows(w, "Approximation ratios vs exact (ratio_x1000 = 1000·ρ*/ρ)", bench.Ratios(cfg))
+	}
+	if run("live") {
+		bench.FormatRows(w, "Live replay: incremental k*-core repair vs full BZ recompute (per-batch mean seconds)", bench.LiveReplay(cfg))
 	}
 	if selected["extensions"] { // opt-in: not part of the paper's "all"
 		bench.FormatRows(w, "Extensions: k*-core vs max truss vs triangle peel", bench.Extensions(cfg))

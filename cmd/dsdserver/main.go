@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	dsdserver [-addr :8080] [-load name=path[,directed]]...
+//	dsdserver [-addr :8080] [-load name=path[,directed|,live]]...
 //	          [-max-concurrent N] [-cache N] [-max-queue-wait 30s]
 //	          [-default-timeout 0] [-max-timeout 0] [-drain 30s]
-//	          [-pprof] [-trace-phases]
+//	          [-live-queue N] [-live-compact N] [-pprof] [-trace-phases]
 //
 // Endpoints:
 //
@@ -19,6 +19,8 @@
 //	DELETE /graphs/{name}     drop a graph
 //	POST   /solve/uds         {"graph", "algo", "options"} -> densest subgraph
 //	POST   /solve/dds         {"graph", "algo", "options"} -> densest (S, T)
+//	POST   /graphs/{name}/edges  batched edge mutations on a live graph
+//	GET    /graphs/{name}/densest  standing 2-approx answer of a live graph
 //	GET    /debug/vars        expvar metrics (requests, latency, cache, active, panics,
 //	                          per-graph/per-algo solves, solve-latency histogram, phase times)
 //	GET    /debug/pprof/      profiling endpoints (-pprof only)
@@ -43,13 +45,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro"
 	"repro/internal/server"
 )
 
-// loadSpec is one -load flag: name=path, with an optional ",directed".
+// loadSpec is one -load flag: name=path, with optional ",directed" or
+// ",live" modifiers (mutually exclusive — mutations are undirected-only).
 type loadSpec struct {
 	name, path string
 	directed   bool
+	live       bool
 }
 
 // options is the parsed flag set.
@@ -64,6 +69,8 @@ type options struct {
 	drain         time.Duration
 	pprof         bool
 	tracePhases   bool
+	liveQueue     int
+	liveCompact   int
 }
 
 func main() {
@@ -92,7 +99,9 @@ func parseArgs(args []string) (*options, error) {
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain window")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	fs.BoolVar(&o.tracePhases, "trace-phases", false, "trace every solve and export per-phase wall times at /debug/vars")
-	fs.Func("load", "graph to preload, name=path[,directed] (repeatable)", func(v string) error {
+	fs.IntVar(&o.liveQueue, "live-queue", 0, "per-live-graph mutation queue depth; overflow is a 429 (0 = 64)")
+	fs.IntVar(&o.liveCompact, "live-compact", 0, "delta-log entries per live graph before compaction (0 = 4096)")
+	fs.Func("load", "graph to preload, name=path[,directed|,live] (repeatable)", func(v string) error {
 		spec, err := parseLoadSpec(v)
 		if err != nil {
 			return err
@@ -116,11 +125,15 @@ func parseLoadSpec(v string) (loadSpec, error) {
 	}
 	spec := loadSpec{name: name, path: rest}
 	if path, mod, ok := strings.Cut(rest, ","); ok {
-		if mod != "directed" {
-			return loadSpec{}, fmt.Errorf("-load modifier must be \"directed\", got %q", mod)
+		switch mod {
+		case "directed":
+			spec.directed = true
+		case "live":
+			spec.live = true
+		default:
+			return loadSpec{}, fmt.Errorf("-load modifier must be \"directed\" or \"live\", got %q", mod)
 		}
 		spec.path = path
-		spec.directed = true
 	}
 	return spec, nil
 }
@@ -134,10 +147,12 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 		MaxQueueWait:   o.maxQueueWait,
 		// With preloads pending, /readyz reports 503 until they land, so a
 		// load balancer never routes to a replica that would 404 its graphs.
-		StartUnready:  len(o.loads) > 0,
-		PublishExpvar: true,
-		EnablePprof:   o.pprof,
-		TracePhases:   o.tracePhases,
+		StartUnready:     len(o.loads) > 0,
+		PublishExpvar:    true,
+		EnablePprof:      o.pprof,
+		TracePhases:      o.tracePhases,
+		LiveQueueDepth:   o.liveQueue,
+		LiveCompactEvery: o.liveCompact,
 	})
 
 	// Listen before loading: liveness and diagnostics are reachable while
@@ -155,13 +170,22 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 	go func() {
 		for _, spec := range o.loads {
 			start := time.Now()
-			e, err := srv.Registry().LoadFile(spec.name, spec.path, spec.directed, false)
+			var e *server.GraphEntry
+			var err error
+			if spec.live {
+				var g *dsd.Graph
+				if g, err = dsd.LoadGraph(spec.path); err == nil {
+					e, err = srv.PutLive(spec.name, g, spec.path, false)
+				}
+			} else {
+				e, err = srv.Registry().LoadFile(spec.name, spec.path, spec.directed, false)
+			}
 			if err != nil {
 				loaded <- fmt.Errorf("preloading %s: %w", spec.name, err)
 				return
 			}
-			logger.Printf("loaded %s: n=%d m=%d directed=%t (%v)",
-				e.Name, e.Stats.N, e.Stats.M, e.Directed, time.Since(start).Round(time.Millisecond))
+			logger.Printf("loaded %s: n=%d m=%d directed=%t live=%t (%v)",
+				e.Name, e.Stats.N, e.Stats.M, e.Directed, e.Live != nil, time.Since(start).Round(time.Millisecond))
 		}
 		srv.MarkReady()
 		if len(o.loads) > 0 {

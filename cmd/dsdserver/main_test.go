@@ -21,8 +21,9 @@ func TestParseLoadSpec(t *testing.T) {
 		want loadSpec
 		ok   bool
 	}{
-		{"pt=data/PT.txt", loadSpec{"pt", "data/PT.txt", false}, true},
-		{"tw=data/TW.txt,directed", loadSpec{"tw", "data/TW.txt", true}, true},
+		{"pt=data/PT.txt", loadSpec{"pt", "data/PT.txt", false, false}, true},
+		{"tw=data/TW.txt,directed", loadSpec{"tw", "data/TW.txt", true, false}, true},
+		{"feed=data/PT.txt,live", loadSpec{"feed", "data/PT.txt", false, true}, true},
 		{"noequals", loadSpec{}, false},
 		{"=path", loadSpec{}, false},
 		{"name=", loadSpec{}, false},
@@ -83,7 +84,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := &options{addr: "127.0.0.1:0", drain: 5 * time.Second,
-		loads: []loadSpec{{name: "tri", path: path}}}
+		loads: []loadSpec{{name: "tri", path: path}, {name: "feed", path: path, live: true}}}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -134,6 +135,24 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || body.Density != 1 {
 		t.Fatalf("solve on preloaded graph = %d density=%g, want 200 density=1", resp.StatusCode, body.Density)
+	}
+
+	// The ,live preload accepts mutations end to end.
+	mresp, err := http.Post("http://"+addr+"/graphs/feed/edges", "application/json",
+		bytes.NewReader([]byte(`{"mutations":[{"op":"insert","u":1,"v":3}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mbody struct {
+		Inserted int   `json:"inserted"`
+		Version  int64 `json:"version"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&mbody); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.StatusCode != http.StatusOK || mbody.Inserted != 1 || mbody.Version < 2 {
+		t.Fatalf("mutation on live preload = %d %+v, want 200 inserted=1 version>=2", mresp.StatusCode, mbody)
 	}
 
 	cancel()

@@ -67,6 +67,9 @@ func (g *Graph) Neighbors(v int32) []int32 { return g.g.Neighbors(v) }
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int32) bool { return g.g.HasEdge(u, v) }
 
+// Edges returns the edge list (each undirected edge once, U < V).
+func (g *Graph) Edges() []Edge { return g.g.Edges() }
+
 // Density returns |E|/|V| of the whole graph.
 func (g *Graph) Density() float64 { return g.g.Density() }
 

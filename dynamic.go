@@ -32,18 +32,31 @@ func (dg *DynamicGraph) InsertEdge(u, v int32) { dg.d.InsertEdge(u, v) }
 // DeleteEdge removes {u, v} (no-op if absent) and repairs the core numbers.
 func (dg *DynamicGraph) DeleteEdge(u, v int32) { dg.d.DeleteEdge(u, v) }
 
+// ApplyInsert is InsertEdge reporting the structural outcome and the repair
+// size: whether the edge was actually added and how many vertices had their
+// core number changed by the repair.
+func (dg *DynamicGraph) ApplyInsert(u, v int32) (applied bool, changed int) {
+	return dg.d.InsertEdge(u, v)
+}
+
+// ApplyDelete is DeleteEdge reporting the structural outcome and the repair
+// size.
+func (dg *DynamicGraph) ApplyDelete(u, v int32) (applied bool, changed int) {
+	return dg.d.DeleteEdge(u, v)
+}
+
 // CoreNumbers returns the maintained core numbers (read-only view).
 func (dg *DynamicGraph) CoreNumbers() []int32 { return dg.d.CoreNumbers() }
 
 // DensestSubgraph returns the current k*-core — the standing 2-approximate
-// densest subgraph — with its density.
+// densest subgraph — with its density. The answer is read directly from the
+// maintained state in O(volume of the core); the graph is not materialized.
 func (dg *DynamicGraph) DensestSubgraph() Result {
-	k, vs := dg.d.KStarCore()
-	g := dg.d.Graph()
+	k, vs, density := dg.d.KStarDensity()
 	return Result{
 		Algorithm: "DynamicKStarCore",
 		Vertices:  vs,
-		Density:   g.InducedDensity(vs),
+		Density:   density,
 		KStar:     k,
 	}
 }

@@ -26,6 +26,10 @@ type Config struct {
 	// Fractions lists the edge fractions of Exp-4/Exp-8; empty defaults to
 	// the paper's {0.2, 0.4, 0.6, 0.8, 1.0}.
 	Fractions []float64
+	// MutBatches lists the mutation batch sizes of the live replay
+	// experiment; empty defaults to {1, 16, 128, 1024}, spanning the
+	// incremental-repair-vs-full-recompute crossover.
+	MutBatches []int
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +44,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Fractions) == 0 {
 		c.Fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if len(c.MutBatches) == 0 {
+		c.MutBatches = []int{1, 16, 128, 1024}
 	}
 	return c
 }

@@ -16,7 +16,15 @@ import (
 // SchemaVersion identifies the BENCH_*.json report layout. Bump it on any
 // breaking change to Report, Row, or TraceEntry wire names — downstream
 // tooling (CI artifact checks, plotting scripts) keys on it.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1: initial layout (rows + PKMC/PWC convergence traces).
+//	2: live mutation-replay rows (experiment "live": per-batch-size
+//	   Incremental vs RecomputeBZ timings) and, when "live" is among the
+//	   selected experiments, a DynamicKStarCore trace with the
+//	   incremental-apply / full-recompute phase split.
+const SchemaVersion = 2
 
 // Report is the machine-readable benchmark artifact written by
 // `dsdbench -json`: run metadata, the measurement rows of the selected
@@ -50,10 +58,18 @@ type TraceEntry struct {
 }
 
 // NewReport assembles the artifact: metadata from the running binary,
-// the caller's measurement rows, and freshly collected convergence traces.
+// the caller's measurement rows, and freshly collected convergence traces
+// (plus a mutation-replay trace when the live experiment was selected).
 // generatedAt is injected so tests stay deterministic.
 func NewReport(cfg Config, selected []string, rows []Row, generatedAt time.Time) Report {
 	cfg = cfg.withDefaults()
+	traces := CollectTraces(cfg)
+	for _, name := range selected {
+		if name == "live" {
+			traces = append(traces, LiveReplayTrace(cfg))
+			break
+		}
+	}
 	return Report{
 		SchemaVersion: SchemaVersion,
 		GeneratedAt:   generatedAt.UTC().Format(time.RFC3339),
@@ -66,7 +82,7 @@ func NewReport(cfg Config, selected []string, rows []Row, generatedAt time.Time)
 		BudgetMs:      cfg.Budget.Milliseconds(),
 		Selected:      selected,
 		Rows:          rows,
-		Traces:        CollectTraces(cfg),
+		Traces:        traces,
 	}
 }
 

@@ -40,6 +40,9 @@ func NewDynamic(g *graph.Undirected) *Dynamic {
 // N returns the vertex count.
 func (d *Dynamic) N() int { return len(d.adj) }
 
+// Degree returns v's current degree.
+func (d *Dynamic) Degree(v int32) int32 { return int32(len(d.adj[v])) }
+
 // HasEdge reports whether {u, v} is currently an edge.
 func (d *Dynamic) HasEdge(u, v int32) bool {
 	_, ok := d.adj[u][v]
@@ -53,6 +56,27 @@ func (d *Dynamic) CoreNumbers() []int32 { return d.k }
 // KStarCore returns k* and the current k*-core vertex set.
 func (d *Dynamic) KStarCore() (int32, []int32) {
 	return KStarCore(d.k)
+}
+
+// KStarDensity returns k*, the k*-core vertex set, and the edge density of
+// the subgraph it induces, computed directly from the maintained adjacency
+// in O(volume of the core) — without materializing the graph. This is the
+// standing 2-approximate densest-subgraph answer a serving tier reads after
+// every mutation batch.
+func (d *Dynamic) KStarDensity() (kstar int32, vertices []int32, density float64) {
+	kstar, vertices = KStarCore(d.k)
+	if len(vertices) == 0 {
+		return kstar, vertices, 0
+	}
+	var twiceEdges int64
+	for _, v := range vertices {
+		for x := range d.adj[v] {
+			if d.k[x] >= kstar {
+				twiceEdges++
+			}
+		}
+	}
+	return kstar, vertices, float64(twiceEdges) / 2 / float64(len(vertices))
 }
 
 // Graph materializes the current graph.
@@ -69,12 +93,14 @@ func (d *Dynamic) Graph() *graph.Undirected {
 }
 
 // InsertEdge adds {u, v} and repairs the core numbers. Inserting an
-// already-present edge or a self-loop is a no-op. Panics on out-of-range
-// ids.
-func (d *Dynamic) InsertEdge(u, v int32) {
+// already-present edge or a self-loop is a no-op (applied false). It
+// reports whether the edge was structurally applied and how many vertices
+// had their core number repaired — the incremental work size a serving
+// tier histograms. Panics on out-of-range ids.
+func (d *Dynamic) InsertEdge(u, v int32) (applied bool, changed int) {
 	d.check(u, v)
 	if u == v || d.HasEdge(u, v) {
-		return
+		return false, 0
 	}
 	d.adj[u][v] = struct{}{}
 	d.adj[v][u] = struct{}{}
@@ -132,16 +158,19 @@ func (d *Dynamic) InsertEdge(u, v int32) {
 	for w, in := range inCand {
 		if in {
 			d.k[w] = kmin + 1
+			changed++
 		}
 	}
+	return true, changed
 }
 
 // DeleteEdge removes {u, v} and repairs the core numbers. Deleting a
-// missing edge is a no-op.
-func (d *Dynamic) DeleteEdge(u, v int32) {
+// missing edge or a self-loop is a no-op (applied false). Like InsertEdge
+// it reports the structural outcome and the repair size.
+func (d *Dynamic) DeleteEdge(u, v int32) (applied bool, changed int) {
 	d.check(u, v)
 	if u == v || !d.HasEdge(u, v) {
-		return
+		return false, 0
 	}
 	delete(d.adj[u], v)
 	delete(d.adj[v], u)
@@ -173,10 +202,12 @@ func (d *Dynamic) DeleteEdge(u, v int32) {
 		w := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		d.k[w] = kmin - 1
+		changed++
 		for x := range d.adj[w] {
 			visit(x)
 		}
 	}
+	return true, changed
 }
 
 // support counts w's neighbors of class >= kmin under the current k.

@@ -27,6 +27,19 @@ const (
 	// SiteRegistryLoad fires after a server registry load has parsed its
 	// graph, just before the entry is published.
 	SiteRegistryLoad = "registry.load"
+	// SiteLiveApply fires at the head of every live mutation batch, before
+	// any edge is applied — an injected error rejects the batch atomically.
+	SiteLiveApply = "live.apply"
+	// SiteLiveCompact fires when a live graph's delta log crosses the
+	// compaction threshold, before the snapshot rebase and full core
+	// recompute — an injected error defers the compaction (the delta log
+	// is kept and retriggers on the next batch).
+	SiteLiveCompact = "live.compact"
+	// SiteLivePublish fires after a mutation batch is applied, just before
+	// the new graph version is published to the registry — an injected
+	// error leaves the mutations applied but unversioned; the next
+	// successful batch publishes them.
+	SiteLivePublish = "live.publish"
 )
 
 // Sites returns every registered probe-site name. Chaos tests iterate it
@@ -41,5 +54,8 @@ func Sites() []string {
 		SiteGraphIOHeader,
 		SiteGraphIOEdges,
 		SiteRegistryLoad,
+		SiteLiveApply,
+		SiteLiveCompact,
+		SiteLivePublish,
 	}
 }

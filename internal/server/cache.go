@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"expvar"
+	"strings"
 	"sync"
 )
 
@@ -82,6 +83,30 @@ func (c *Cache) Put(key string, value any) {
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry).key)
 	}
+}
+
+// InvalidateGraph eagerly drops every cached result for the named graph
+// (all versions, both families) and reports how many entries went. Version
+// scoping already keeps stale entries unreachable; live graphs publish
+// versions at mutation rate, so waiting for LRU pressure to evict the
+// orphans would let one busy live graph flush the working set for every
+// other graph. Keys are "name@version|...", so the prefix is exact.
+func (c *Cache) InvalidateGraph(name string) int {
+	prefix := name + "@"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		if strings.HasPrefix(ent.key, prefix) {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+			removed++
+		}
+	}
+	return removed
 }
 
 // Len returns the current entry count.

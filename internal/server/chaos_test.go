@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/faultinject"
+	"repro/internal/live"
 	"repro/internal/parallel"
 )
 
@@ -316,6 +318,23 @@ func TestChaosProbeRegistryCoverage(t *testing.T) {
 	}
 	if _, err := dsd.ReadGraphBinary(&buf); err != nil {
 		t.Fatalf("ReadGraphBinary: %v", err)
+	}
+
+	// live.apply, live.compact, live.publish: one structural mutation batch
+	// on a live graph with a single-entry compaction threshold walks all
+	// three probes — apply at the batch head, compact when the delta log
+	// (now one entry) crosses the threshold, publish on the version bump.
+	le, err := r.PutLive("livecov", g, "test", false, live.Config{CompactEvery: 1})
+	if err != nil {
+		t.Fatalf("PutLive: %v", err)
+	}
+	defer le.Live.Close()
+	res, err := le.Live.Enqueue(context.Background(), []live.Mutation{{Op: live.OpInsert, U: 0, V: 2}})
+	if err != nil {
+		t.Fatalf("live mutation: %v", err)
+	}
+	if !res.Compacted || res.Version <= le.Version {
+		t.Fatalf("coverage mutation did not compact and publish: %+v", res)
 	}
 
 	for _, site := range sites {

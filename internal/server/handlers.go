@@ -12,12 +12,14 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/live"
 )
 
 // GraphInfo is the wire shape of one registry entry (GET /graphs).
 type GraphInfo struct {
 	Name         string    `json:"name"`
 	Directed     bool      `json:"directed"`
+	Live         bool      `json:"live,omitempty"`
 	Version      int64     `json:"version"`
 	N            int       `json:"n"`
 	M            int64     `json:"m"`
@@ -33,6 +35,7 @@ func infoOf(e *GraphEntry) GraphInfo {
 	return GraphInfo{
 		Name:         e.Name,
 		Directed:     e.Directed,
+		Live:         e.Live != nil,
 		Version:      e.Version,
 		N:            e.Stats.N,
 		M:            e.Stats.M,
@@ -56,6 +59,10 @@ type LoadRequest struct {
 	// Replace swaps an existing name under a bumped version instead of
 	// failing with graph_exists.
 	Replace bool `json:"replace,omitempty"`
+	// Live registers the graph as mutable: POST /graphs/{name}/edges
+	// accepts batched edge insertions and deletions, each batch advancing
+	// the served version. Undirected only.
+	Live bool `json:"live,omitempty"`
 }
 
 // SolveRequest is the POST /solve/{uds,dds} body.
@@ -177,6 +184,9 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiErr
 	if (req.Path == "") == (req.Edges == "") {
 		return errBadRequest("exactly one of path and edges is required")
 	}
+	if req.Live && req.Directed {
+		return errBadRequest("live graphs must be undirected (incremental core maintenance has no directed analogue)")
+	}
 	// Parsing a multi-gigabyte edge list is solver-grade work; loads share
 	// the solve semaphore.
 	if aerr := s.acquire(r); aerr != nil {
@@ -187,9 +197,24 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiErr
 		e   *GraphEntry
 		err error
 	)
-	if req.Path != "" {
+	switch {
+	case req.Live:
+		// Live loads parse first (the seed core decomposition runs inside
+		// PutLive) and register through the live path.
+		var g *dsd.Graph
+		source := "inline"
+		if req.Path != "" {
+			g, err = dsd.LoadGraph(req.Path)
+			source = req.Path
+		} else {
+			g, err = dsd.ReadGraph(strings.NewReader(req.Edges))
+		}
+		if err == nil {
+			e, err = s.reg.PutLive(req.Name, g, source, req.Replace, s.liveConfig())
+		}
+	case req.Path != "":
 		e, err = s.reg.LoadFile(req.Name, req.Path, req.Directed, req.Replace)
-	} else {
+	default:
 		e, err = s.reg.LoadReader(req.Name, strings.NewReader(req.Edges), req.Directed, req.Replace)
 	}
 	switch {
@@ -215,12 +240,15 @@ func validAlgo(name string, family []dsd.Algo) bool {
 }
 
 // cacheKey canonicalizes a solve request. The graph version scopes the key
-// to the exact resident graph; every option that can steer the answer is
-// folded in. The request timeout is deliberately excluded — it decides
-// whether a run finishes, never what a finished run returns.
-func cacheKey(e *GraphEntry, family, algo string, o SolveOptions) string {
+// to the exact graph state — for live graphs the version comes from the
+// same Snapshot call as the solved graph, so key and data can never alias
+// different states; every option that can steer the answer is folded in.
+// The request timeout is deliberately excluded — it decides whether a run
+// finishes, never what a finished run returns. Cache.InvalidateGraph
+// relies on the "name@" prefix.
+func cacheKey(name string, version int64, family, algo string, o SolveOptions) string {
 	return fmt.Sprintf("%s@%d|%s|%s|w%d|e%g|d%g|i%d|b%d|v%t",
-		e.Name, e.Version, family, algo,
+		name, version, family, algo,
 		o.Workers, o.Epsilon, o.Delta, o.Iterations, o.BudgetMs, !o.OmitVertices)
 }
 
@@ -302,7 +330,15 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if !validAlgo(req.Algo, dsd.UDSAlgorithms()) {
 		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown UDS algorithm %q (valid: %v)", req.Algo, dsd.UDSAlgorithms())}
 	}
-	key := cacheKey(e, "uds", req.Algo, req.Options)
+	// Live graphs solve against an immutable snapshot: the (graph, version)
+	// pair is taken atomically, so concurrent mutations neither perturb the
+	// running solver nor let a result land in the cache under a version it
+	// does not match.
+	g, version := e.G, e.Version
+	if e.Live != nil {
+		g, version = e.Live.Snapshot()
+	}
+	key := cacheKey(e.Name, version, "uds", req.Algo, req.Options)
 	start := time.Now()
 	if !req.Options.Trace {
 		if v, ok := s.cache.Get(key); ok {
@@ -323,7 +359,7 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 		s.solveGate()
 	}
 	tr := s.newTrace(req.Options)
-	res, err := dsd.SolveUDS(e.G, dsd.Algo(req.Algo), dsd.Options{
+	res, err := dsd.SolveUDS(g, dsd.Algo(req.Algo), dsd.Options{
 		Workers:    req.Options.Workers,
 		Epsilon:    req.Options.Epsilon,
 		Delta:      req.Options.Delta,
@@ -338,7 +374,7 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	s.observeSolve(e.Name, res.Algorithm, start, tr)
 	resp := UDSResponse{
 		Graph:      e.Name,
-		Version:    e.Version,
+		Version:    version,
 		Algorithm:  res.Algorithm,
 		Density:    res.Density,
 		Size:       len(res.Vertices),
@@ -373,7 +409,7 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if !validAlgo(req.Algo, dsd.DDSAlgorithms()) {
 		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
 	}
-	key := cacheKey(e, "dds", req.Algo, req.Options)
+	key := cacheKey(e.Name, e.Version, "dds", req.Algo, req.Options)
 	start := time.Now()
 	if !req.Options.Trace {
 		if v, ok := s.cache.Get(key); ok {
@@ -429,6 +465,128 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	}
 	if req.Options.Trace {
 		resp.Trace = tr
+	}
+	resp.ElapsedMs = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// MutationOp is one edge change in a POST /graphs/{name}/edges batch.
+type MutationOp struct {
+	Op string `json:"op"` // "insert" or "delete"
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+}
+
+// MutateRequest is the POST /graphs/{name}/edges body: one batch, applied
+// atomically with respect to validation (a malformed entry rejects the
+// whole batch before any edge is touched).
+type MutateRequest struct {
+	Mutations []MutationOp `json:"mutations"`
+}
+
+// MutateResponse reports one applied batch: the post-batch version, the
+// apply accounting (repair size, recompute/compaction flags), and the
+// standing densest-subgraph answer.
+type MutateResponse struct {
+	Graph string `json:"graph"`
+	live.ApplyResult
+	// ElapsedMs is the full request wall time, queue wait included
+	// (ApplyMs inside is the writer's apply alone).
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// errNotLive rejects mutation-path requests aimed at a static graph.
+func errNotLive(name string) *apiError {
+	return &apiError{status: http.StatusConflict, code: CodeNotLive,
+		message: fmt.Sprintf("graph %q is not live; load it with \"live\": true to mutate it", name)}
+}
+
+// handleMutateGraph serves POST /graphs/{name}/edges: batched edge
+// mutations through the graph's single writer goroutine. Admission is the
+// writer's bounded queue, not the solve semaphore — mutations are
+// O(changed neighborhood), and serializing them behind multi-second solves
+// would make the write path unusable exactly when the read path is busy.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) *apiError {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
+	}
+	if e.Live == nil {
+		return errNotLive(e.Name)
+	}
+	var req MutateRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		return aerr
+	}
+	if len(req.Mutations) == 0 {
+		return errBadRequest("mutations must be non-empty")
+	}
+	batch := make([]live.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		switch m.Op {
+		case "insert":
+			batch[i] = live.Mutation{Op: live.OpInsert, U: m.U, V: m.V}
+		case "delete":
+			batch[i] = live.Mutation{Op: live.OpDelete, U: m.U, V: m.V}
+		default:
+			return errBadRequest(fmt.Sprintf("mutation %d: op must be \"insert\" or \"delete\", got %q", i, m.Op))
+		}
+	}
+	start := time.Now()
+	res, err := e.Live.Enqueue(r.Context(), batch)
+	if err != nil {
+		var pe *live.ApplyPanicError
+		switch {
+		case errors.Is(err, live.ErrBacklog):
+			return &apiError{status: http.StatusTooManyRequests, code: CodeBacklog,
+				message: fmt.Sprintf("mutation queue for %q is full", e.Name), retryAfter: 1}
+		case errors.Is(err, live.ErrClosed):
+			return &apiError{status: http.StatusConflict, code: CodeNotLive,
+				message: fmt.Sprintf("graph %q was removed or replaced while the mutation was queued", e.Name)}
+		case errors.As(err, &pe):
+			s.metrics.Panics.Add(1)
+			log.Printf("server: live apply panic (contained): %v", pe.Value)
+			return &apiError{status: http.StatusInternalServerError, code: CodeInternal, message: err.Error()}
+		case errors.Is(err, context.DeadlineExceeded):
+			return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
+				message: "request deadline expired while the mutation was queued"}
+		case errors.Is(err, context.Canceled):
+			return &apiError{status: 499, code: CodeCanceled, message: "request canceled: " + err.Error()}
+		default:
+			return errBadRequest(err.Error()) // batch validation
+		}
+	}
+	s.metrics.ObserveMutation(e.Name, res.Inserted+res.Deleted, res.Touched,
+		res.Recomputed, res.Compacted, res.CompactMs)
+	writeJSON(w, http.StatusOK, MutateResponse{Graph: e.Name, ApplyResult: res, ElapsedMs: msSince(start)})
+	return nil
+}
+
+// handleDensest serves GET /graphs/{name}/densest: the live graph's
+// standing 2-approximate densest subgraph (the incrementally maintained
+// k*-core), read in O(volume of the core) without a solver run, a cache
+// entry, or a semaphore slot. ?omit_vertices=true drops the vertex array.
+func (s *Server) handleDensest(w http.ResponseWriter, r *http.Request) *apiError {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
+	}
+	if e.Live == nil {
+		return errNotLive(e.Name)
+	}
+	start := time.Now()
+	d := e.Live.Densest()
+	resp := UDSResponse{
+		Graph:     e.Name,
+		Version:   d.Version,
+		Algorithm: "DynamicKStarCore",
+		Density:   d.Density,
+		Size:      len(d.Vertices),
+		KStar:     d.KStar,
+	}
+	if v := r.URL.Query().Get("omit_vertices"); v != "true" && v != "1" {
+		resp.Vertices = d.Vertices
 	}
 	resp.ElapsedMs = msSince(start)
 	writeJSON(w, http.StatusOK, resp)

@@ -44,6 +44,23 @@ type Metrics struct {
 	// (e.g. "PKMC/core-decomposition") when Config.TracePhases is on —
 	// the serving-side view of the observability layer's phase timings.
 	PhaseMsSum expvar.Map
+	// MutationsByGraph counts applied mutation batches per live graph;
+	// MutationEdges counts the structural edge changes (inserted + deleted,
+	// no-ops excluded) across all of them.
+	MutationsByGraph expvar.Map
+	MutationEdges    expvar.Int
+	// RepairTouchedHist is a log₂-bucketed histogram of per-batch repair
+	// sizes — how many vertices the incremental traversal repair moved:
+	// keys "le_1", "le_2", ... "le_32768", "inf". Full recomputes are
+	// counted in LiveRecomputes instead, not here.
+	RepairTouchedHist expvar.Map
+	// LiveCompactions / LiveCompactionMsSum track delta-log compactions
+	// (snapshot rebase + from-scratch core recompute) and their cumulative
+	// wall time; LiveRecomputes counts batches that took the oversized
+	// full-recompute fallback instead of per-edge repair.
+	LiveCompactions     expvar.Int
+	LiveCompactionMsSum expvar.Float
+	LiveRecomputes      expvar.Int
 
 	maxMu sync.Mutex // LatencyMsMax read-modify-write
 }
@@ -59,6 +76,8 @@ func NewMetrics() *Metrics {
 	m.SolvesByAlgo.Init()
 	m.SolveLatencyHist.Init()
 	m.PhaseMsSum.Init()
+	m.MutationsByGraph.Init()
+	m.RepairTouchedHist.Init()
 	return m
 }
 
@@ -85,6 +104,35 @@ func (m *Metrics) ObserveSolve(graphName, algo string, elapsed time.Duration, ph
 	m.SolveLatencyHist.Add(latencyBucket(elapsed), 1)
 	for _, ph := range phases {
 		m.PhaseMsSum.AddFloat(algo+"/"+ph.Name, ph.Seconds*1000)
+	}
+}
+
+// countBucket is latencyBucket for unitless counts (repair sizes): the
+// smallest power-of-two bound at or above n, "inf" beyond 2¹⁵.
+func countBucket(n int) string {
+	for bound := 1; bound <= 32768; bound *= 2 {
+		if n <= bound {
+			return fmt.Sprintf("le_%d", bound)
+		}
+	}
+	return "inf"
+}
+
+// ObserveMutation records one applied mutation batch on a live graph:
+// batch and edge-change counters, the repair-size histogram (incremental
+// batches only — a full recompute has no meaningful touched count), and
+// compaction accounting.
+func (m *Metrics) ObserveMutation(graphName string, edges, touched int, recomputed, compacted bool, compactMs float64) {
+	m.MutationsByGraph.Add(graphName, 1)
+	m.MutationEdges.Add(int64(edges))
+	if recomputed {
+		m.LiveRecomputes.Add(1)
+	} else {
+		m.RepairTouchedHist.Add(countBucket(touched), 1)
+	}
+	if compacted {
+		m.LiveCompactions.Add(1)
+		m.LiveCompactionMsSum.Add(compactMs)
 	}
 }
 
@@ -122,12 +170,15 @@ func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
 // snapshot renders the metrics as one JSON object (expvar vars stringify
 // to JSON by contract).
 func (m *Metrics) snapshot() string {
-	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s}`,
+	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s,"mutations_by_graph":%s,"mutation_edges":%s,"repair_touched_hist":%s,"live_compactions":%s,"live_compaction_ms_sum":%s,"live_recomputes":%s}`,
 		m.Requests.String(), m.ErrorsByCode.String(),
 		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
 		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String(),
 		m.SolvesByGraph.String(), m.SolvesByAlgo.String(),
-		m.SolveLatencyHist.String(), m.PhaseMsSum.String())
+		m.SolveLatencyHist.String(), m.PhaseMsSum.String(),
+		m.MutationsByGraph.String(), m.MutationEdges.String(),
+		m.RepairTouchedHist.String(), m.LiveCompactions.String(),
+		m.LiveCompactionMsSum.String(), m.LiveRecomputes.String())
 }
 
 // rawJSON marks an already-encoded JSON string so expvar.Func does not

@@ -23,6 +23,13 @@ const (
 	CodeCanceled         = "canceled"
 	CodeOverloaded       = "overloaded"
 	CodeInternal         = "internal"
+	// CodeNotLive rejects a mutation (or live-only query) aimed at a graph
+	// loaded statically — or one whose live writer has been closed by a
+	// delete/replace racing the request.
+	CodeNotLive = "not_live"
+	// CodeBacklog rejects a mutation when the graph's single-writer queue
+	// is full — the write-side overload signal, a 429 with Retry-After.
+	CodeBacklog = "mutation_backlog"
 )
 
 // apiError carries a structured error through handler returns.

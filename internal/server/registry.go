@@ -10,6 +10,7 @@ import (
 
 	"repro"
 	"repro/internal/faultinject"
+	"repro/internal/live"
 )
 
 // Registry errors, matched by the handlers to pick status codes.
@@ -36,9 +37,14 @@ type GraphEntry struct {
 	LoadedAt time.Time
 	Stats    dsd.Stats
 
-	// Exactly one of G, D is non-nil, matching Directed.
-	G *dsd.Graph
-	D *dsd.Digraph
+	// Exactly one of G, D, Live is non-nil. Static undirected graphs set
+	// G, digraphs set D; live graphs set Live only, and readers take an
+	// immutable (snapshot, version) pair from it. Each published batch
+	// replaces the entry (entries stay immutable) with the bumped version
+	// and fresh Stats, Live carried over.
+	G    *dsd.Graph
+	D    *dsd.Digraph
+	Live *live.Graph
 }
 
 // Registry holds the named resident graphs behind a RWMutex: lookups are
@@ -59,6 +65,12 @@ type Registry struct {
 	// cache entries stay unreachable.
 	versions map[string]int64
 	now      func() time.Time // test seam
+	// onPublish, when set (the server wires cache invalidation here), runs
+	// after every version advance of name — static loads, replacements,
+	// and live mutation publishes alike. It is called without the registry
+	// lock (live publishes still hold the live graph's own lock, which is
+	// the designed order: live.mu before registry.mu before cache.mu).
+	onPublish func(name string)
 }
 
 // NewRegistry returns an empty registry.
@@ -102,14 +114,23 @@ func (r *Registry) Len() int {
 }
 
 // Remove drops a graph. The name's version counter is retained, so cached
-// results for the removed graph can never be served to a successor.
+// results for the removed graph can never be served to a successor. A live
+// graph's writer is closed after the entry is unlinked (never under the
+// registry lock — the writer may be blocked publishing, which takes it);
+// queued mutations are rejected with live.ErrClosed, in-flight snapshots
+// stay valid.
 func (r *Registry) Remove(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 	}
 	delete(r.entries, name)
+	r.mu.Unlock()
+	if e.Live != nil {
+		e.Live.Close()
+	}
 	return nil
 }
 
@@ -228,17 +249,83 @@ func (r *Registry) settle(name string, err *error) {
 }
 
 // publish installs the entry under the next version for its name and
-// consumes its reservation.
+// consumes its reservation. A replaced live predecessor has its writer
+// closed (outside the lock; see Remove) and the onPublish hook fires so
+// version-keyed caches drop the displaced entries eagerly.
 func (r *Registry) publish(e *GraphEntry, replace bool) (*GraphEntry, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	prev := r.entries[e.Name]
 	delete(r.pending, e.Name)
-	if _, ok := r.entries[e.Name]; ok && !replace {
+	if prev != nil && !replace {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrGraphExists, e.Name)
 	}
 	r.versions[e.Name]++
 	e.Version = r.versions[e.Name]
 	e.LoadedAt = r.now()
 	r.entries[e.Name] = e
+	onPublish := r.onPublish
+	r.mu.Unlock()
+	if prev != nil && prev.Live != nil && prev.Live != e.Live {
+		prev.Live.Close()
+	}
+	if onPublish != nil {
+		onPublish(e.Name)
+	}
 	return e, nil
+}
+
+// PutLive registers an undirected graph as a live graph under name: the
+// entry accepts POST /graphs/{name}/edges mutations through a single
+// writer goroutine, republishing a bumped version after every batch that
+// changes the graph. The writer is started before the entry is returned.
+func (r *Registry) PutLive(name string, g *dsd.Graph, source string, replace bool, cfg live.Config) (_ *GraphEntry, err error) {
+	if err := r.reserve(name, replace); err != nil {
+		return nil, err
+	}
+	defer r.settle(name, &err)
+	var lv *live.Graph
+	lv = live.New(g, cfg, func(stats dsd.Stats) (int64, error) {
+		return r.republishLive(name, lv, stats)
+	})
+	e, err := r.publish(&GraphEntry{Name: name, Source: source, Stats: g.Stats(), Live: lv}, replace)
+	if err != nil {
+		return nil, err
+	}
+	// Align the live version with the registry's before any mutation can
+	// run, then accept traffic.
+	lv.SetVersion(e.Version)
+	lv.StartWriter()
+	return e, nil
+}
+
+// republishLive advances a live graph's served version after a mutation
+// batch: a fresh immutable entry (same identity, bumped version, post-batch
+// stats) replaces the current one. It runs as the live graph's publish
+// callback — under the live graph's lock, which is why it must never call
+// back into it — and refuses when the entry was removed or displaced by a
+// concurrent load, so a dying writer cannot resurrect its name.
+func (r *Registry) republishLive(name string, lv *live.Graph, stats dsd.Stats) (int64, error) {
+	r.mu.Lock()
+	cur, ok := r.entries[name]
+	if !ok || cur.Live != lv {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q (live graph removed or replaced)", ErrUnknownGraph, name)
+	}
+	r.versions[name]++
+	e := &GraphEntry{
+		Name:     name,
+		Version:  r.versions[name],
+		Source:   cur.Source,
+		LoadedAt: cur.LoadedAt,
+		Stats:    stats,
+		Live:     lv,
+	}
+	r.entries[name] = e
+	onPublish := r.onPublish
+	r.mu.Unlock()
+	if onPublish != nil {
+		onPublish(name)
+	}
+	return e.Version, nil
 }

@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro"
+	"repro/internal/live"
 )
 
 // DefaultMaxQueueWait bounds how long an admitted-but-queued request waits
@@ -54,6 +57,14 @@ type Config struct {
 	// small but nonzero. Clients can still request a trace per call via
 	// the solve option "trace" regardless of this setting.
 	TracePhases bool
+	// LiveQueueDepth bounds each live graph's single-writer mutation
+	// queue; an enqueue beyond it is a 429 mutation_backlog. <= 0 means
+	// the live package default (64).
+	LiveQueueDepth int
+	// LiveCompactEvery bounds each live graph's delta log: crossing it
+	// triggers a compaction (snapshot rebase + full core recompute).
+	// <= 0 means the live package default (4096).
+	LiveCompactEvery int
 }
 
 // Server is the densest-subgraph query service: a graph registry, a result
@@ -100,10 +111,15 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
 	}
+	// Live mutation publishes advance the graph version; the cache drops
+	// the displaced entries eagerly rather than waiting for LRU pressure.
+	s.reg.onPublish = func(name string) { s.cache.InvalidateGraph(name) }
 	s.mux.Handle("GET /graphs", s.route("list_graphs", s.handleListGraphs))
 	s.mux.Handle("POST /graphs", s.route("load_graph", s.handleLoadGraph))
 	s.mux.Handle("GET /graphs/{name}", s.route("get_graph", s.handleGetGraph))
 	s.mux.Handle("DELETE /graphs/{name}", s.route("delete_graph", s.handleDeleteGraph))
+	s.mux.Handle("POST /graphs/{name}/edges", s.route("mutate_graph", s.handleMutateGraph))
+	s.mux.Handle("GET /graphs/{name}/densest", s.route("densest", s.handleDensest))
 	s.mux.Handle("POST /solve/uds", s.route("solve_uds", s.handleSolveUDS))
 	s.mux.Handle("POST /solve/dds", s.route("solve_dds", s.handleSolveDDS))
 	s.mux.Handle("GET /debug/vars", m.handler())
@@ -148,6 +164,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the graph registry for programmatic preloading
 // (cmd/dsdserver's -load flags, embedded servers, tests).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// liveConfig derives the per-graph live configuration from the server's.
+func (s *Server) liveConfig() live.Config {
+	return live.Config{QueueDepth: s.cfg.LiveQueueDepth, CompactEvery: s.cfg.LiveCompactEvery}
+}
+
+// PutLive registers an already-built undirected graph as a live graph —
+// the programmatic twin of POST /graphs with "live": true (cmd/dsdserver's
+// -load name=path,live specs, embedded servers, tests).
+func (s *Server) PutLive(name string, g *dsd.Graph, source string, replace bool) (*GraphEntry, error) {
+	return s.reg.PutLive(name, g, source, replace, s.liveConfig())
+}
 
 // Cache exposes the result cache (tests and diagnostics).
 func (s *Server) Cache() *Cache { return s.cache }
