@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
+.PHONY: all build vet lint test race chaos cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, the live-mutation subsystem, and
@@ -39,6 +39,20 @@ test: vet
 
 race:
 	$(GO) test -race $(RACE_PKGS) ./internal/dist .
+
+# The overload tier under the race detector, twice: request coalescing,
+# per-tenant quotas, deadline degradation, snapshot/warm-restart, and the
+# fault-injection chaos suite (armed Site* probes, leader panics, torn
+# snapshot writes). -count=2 reruns every interleaving-sensitive test on
+# a warmed scheduler, where a different goroutine order shakes out
+# schedule-dependent bugs the first pass can miss.
+chaos:
+	$(GO) test -race -count=2 \
+		-run 'TestChaos|TestCoalesce|TestQuota|TestDegrade|TestSnapshot|TestLivePublishMidFlight|TestSolveDeadline|TestOverloaded' \
+		./internal/server
+	$(GO) test -race -count=2 \
+		-run 'TestRunWarmRestart|TestParseQuotaSpec|TestParseArgsServingTier' \
+		./cmd/dsdserver
 
 cover:
 	$(GO) test -cover ./...

@@ -10,6 +10,8 @@
 //	          [-max-concurrent N] [-cache N] [-max-queue-wait 30s]
 //	          [-default-timeout 0] [-max-timeout 0] [-drain 30s]
 //	          [-live-queue N] [-live-compact N] [-pprof] [-trace-phases]
+//	          [-state-dir DIR] [-state-interval 30s]
+//	          [-quota rate=R[,burst=B][,concurrent=C]] [-degrade off|auto]
 //
 // Endpoints:
 //
@@ -71,6 +73,10 @@ type options struct {
 	tracePhases   bool
 	liveQueue     int
 	liveCompact   int
+	stateDir      string
+	stateInterval time.Duration
+	degrade       string
+	quota         server.QuotaConfig
 }
 
 func main() {
@@ -101,6 +107,17 @@ func parseArgs(args []string) (*options, error) {
 	fs.BoolVar(&o.tracePhases, "trace-phases", false, "trace every solve and export per-phase wall times at /debug/vars")
 	fs.IntVar(&o.liveQueue, "live-queue", 0, "per-live-graph mutation queue depth; overflow is a 429 (0 = 64)")
 	fs.IntVar(&o.liveCompact, "live-compact", 0, "delta-log entries per live graph before compaction (0 = 4096)")
+	fs.StringVar(&o.stateDir, "state-dir", "", "directory for warm-restart snapshots: the resident-graph manifest is saved there on shutdown and every -state-interval, and restored at startup")
+	fs.DurationVar(&o.stateInterval, "state-interval", 30*time.Second, "period between snapshot saves with -state-dir (0 = only at shutdown)")
+	fs.StringVar(&o.degrade, "degrade", server.DegradeOff, "deadline-aware degradation policy: \"off\" or \"auto\" (downgrade exact solves predicted to miss their deadline to a registered approximation)")
+	fs.Func("quota", "per-tenant admission, rate=R[,burst=B][,concurrent=C] (R req/s token refill, B bucket size, C max in-flight; keyed on the X-DSD-Tenant header)", func(v string) error {
+		q, err := parseQuotaSpec(v)
+		if err != nil {
+			return err
+		}
+		o.quota = q
+		return nil
+	})
 	fs.Func("load", "graph to preload, name=path[,directed|,live] (repeatable)", func(v string) error {
 		spec, err := parseLoadSpec(v)
 		if err != nil {
@@ -115,7 +132,42 @@ func parseArgs(args []string) (*options, error) {
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if o.degrade != server.DegradeOff && o.degrade != server.DegradeAuto {
+		return nil, fmt.Errorf("-degrade must be %q or %q, got %q", server.DegradeOff, server.DegradeAuto, o.degrade)
+	}
 	return o, nil
+}
+
+// parseQuotaSpec parses the -quota flag: comma-separated key=value pairs.
+func parseQuotaSpec(v string) (server.QuotaConfig, error) {
+	var q server.QuotaConfig
+	for _, part := range strings.Split(v, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return q, fmt.Errorf("-quota wants rate=R[,burst=B][,concurrent=C], got %q", v)
+		}
+		var err error
+		switch key {
+		case "rate":
+			_, err = fmt.Sscanf(val, "%g", &q.Rate)
+		case "burst":
+			_, err = fmt.Sscanf(val, "%d", &q.Burst)
+		case "concurrent":
+			_, err = fmt.Sscanf(val, "%d", &q.MaxConcurrent)
+		default:
+			return q, fmt.Errorf("-quota key must be rate, burst, or concurrent, got %q", key)
+		}
+		if err != nil {
+			return q, fmt.Errorf("-quota %s: %q is not a number", key, val)
+		}
+	}
+	if q.Rate < 0 || q.Burst < 0 || q.MaxConcurrent < 0 {
+		return q, fmt.Errorf("-quota values must be non-negative")
+	}
+	if q.Rate == 0 && q.MaxConcurrent == 0 {
+		return q, fmt.Errorf("-quota needs rate and/or concurrent to enforce anything")
+	}
+	return q, nil
 }
 
 func parseLoadSpec(v string) (loadSpec, error) {
@@ -145,14 +197,17 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 		DefaultTimeout: o.defaultTO,
 		MaxTimeout:     o.maxTO,
 		MaxQueueWait:   o.maxQueueWait,
-		// With preloads pending, /readyz reports 503 until they land, so a
-		// load balancer never routes to a replica that would 404 its graphs.
-		StartUnready:     len(o.loads) > 0,
+		// With preloads (or a snapshot restore) pending, /readyz reports 503
+		// until they land, so a load balancer never routes to a replica that
+		// would 404 its graphs.
+		StartUnready:     len(o.loads) > 0 || o.stateDir != "",
 		PublishExpvar:    true,
 		EnablePprof:      o.pprof,
 		TracePhases:      o.tracePhases,
 		LiveQueueDepth:   o.liveQueue,
 		LiveCompactEvery: o.liveCompact,
+		DegradePolicy:    o.degrade,
+		Quota:            o.quota,
 	})
 
 	// Listen before loading: liveness and diagnostics are reachable while
@@ -187,12 +242,47 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 			logger.Printf("loaded %s: n=%d m=%d directed=%t live=%t (%v)",
 				e.Name, e.Stats.N, e.Stats.M, e.Directed, e.Live != nil, time.Since(start).Round(time.Millisecond))
 		}
+		// Warm restart, after explicit preloads so -load wins a name clash.
+		// A corrupt or partially-restorable snapshot degrades to whatever
+		// did restore — never a crash, never a refusal to start.
+		if o.stateDir != "" {
+			start := time.Now()
+			n, err := srv.RestoreSnapshot(o.stateDir)
+			if err != nil {
+				logger.Printf("warm restart from %s: %v (continuing with %d restored)", o.stateDir, err, n)
+			} else if n > 0 {
+				logger.Printf("warm restart: %d graphs restored from %s (%v)",
+					n, o.stateDir, time.Since(start).Round(time.Millisecond))
+			}
+		}
 		srv.MarkReady()
-		if len(o.loads) > 0 {
+		if srv.Registry().Len() > 0 {
 			logger.Printf("ready: %d graphs resident", srv.Registry().Len())
 		}
 		loaded <- nil
 	}()
+
+	// Periodic snapshot tick: crash protection between graceful saves.
+	snapDone := make(chan struct{})
+	if o.stateDir != "" && o.stateInterval > 0 {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(o.stateInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if _, err := srv.WriteSnapshot(o.stateDir); err != nil {
+						logger.Printf("snapshot to %s: %v", o.stateDir, err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
 
 	var cause error
 	select {
@@ -219,6 +309,16 @@ func run(ctx context.Context, o *options, logger *log.Logger) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// The post-drain snapshot is the authoritative one: every in-flight
+	// mutation has landed, so the manifest captures the exact final state.
+	<-snapDone
+	if o.stateDir != "" {
+		if n, err := srv.WriteSnapshot(o.stateDir); err != nil {
+			logger.Printf("final snapshot to %s: %v", o.stateDir, err)
+		} else {
+			logger.Printf("saved %d graphs to %s", n, o.stateDir)
+		}
 	}
 	if cause != nil {
 		return cause

@@ -187,3 +187,186 @@ func TestRunFailedPreloadExits(t *testing.T) {
 		t.Fatal("run did not exit after a failed preload")
 	}
 }
+
+func TestParseQuotaSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		rate float64
+		b, c int
+		ok   bool
+	}{
+		{"rate=5", 5, 0, 0, true},
+		{"rate=2.5,burst=10", 2.5, 10, 0, true},
+		{"rate=1,burst=4,concurrent=8", 1, 4, 8, true},
+		{"concurrent=2", 0, 0, 2, true},
+		{" rate=1 , concurrent=2 ", 1, 0, 2, true},
+		{"burst=5", 0, 0, 0, false},  // enforces nothing
+		{"rate=-1", 0, 0, 0, false},  // negative
+		{"rate=abc", 0, 0, 0, false}, // not a number
+		{"limit=5", 0, 0, 0, false},  // unknown key
+		{"rate", 0, 0, 0, false},     // no value
+		{"", 0, 0, 0, false},
+	}
+	for _, c := range cases {
+		q, err := parseQuotaSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseQuotaSpec(%q) err = %v, want ok=%t", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (q.Rate != c.rate || q.Burst != c.b || q.MaxConcurrent != c.c) {
+			t.Errorf("parseQuotaSpec(%q) = %+v, want rate=%g burst=%d concurrent=%d", c.in, q, c.rate, c.b, c.c)
+		}
+	}
+}
+
+func TestParseArgsServingTier(t *testing.T) {
+	o, err := parseArgs([]string{"-state-dir", "/tmp/x", "-state-interval", "5s",
+		"-degrade", "auto", "-quota", "rate=2,concurrent=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.stateDir != "/tmp/x" || o.stateInterval != 5*time.Second {
+		t.Fatalf("state flags parsed as %q / %v", o.stateDir, o.stateInterval)
+	}
+	if o.degrade != "auto" || o.quota.Rate != 2 || o.quota.MaxConcurrent != 4 {
+		t.Fatalf("policy flags parsed as %+v", o)
+	}
+	if _, err := parseArgs([]string{"-degrade", "sideways"}); err == nil {
+		t.Fatal("bogus -degrade value accepted")
+	}
+	if _, err := parseArgs([]string{"-quota", "burst=3"}); err == nil {
+		t.Fatal("unenforceable -quota accepted")
+	}
+}
+
+// startRun launches run() with o, waits for the listen address and for
+// /readyz to go 200, and returns the address plus the shutdown plumbing.
+func startRun(t *testing.T, o *options) (addr string, logs *syncBuffer, done chan error, cancel context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	logs = &syncBuffer{}
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, o, log.New(logs, "", 0)) }()
+
+	addrRE := regexp.MustCompile(`serving on ([0-9.:]+)`)
+	for start := time.Now(); addr == ""; {
+		if m := addrRE.FindStringSubmatch(logs.String()); m != nil {
+			addr = m[1]
+		} else if time.Since(start) > 5*time.Second {
+			cancel()
+			t.Fatalf("server never came up; log:\n%s", logs.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for start := time.Now(); ; {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return addr, logs, done, cancel
+			}
+		}
+		if time.Since(start) > 5*time.Second {
+			cancel()
+			t.Fatalf("server never became ready; log:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunWarmRestart is the kill-and-restart acceptance test: a server with
+// -state-dir snapshots its resident graphs (mutations included) on graceful
+// shutdown, and a restarted process with the same -state-dir serves its
+// first solve from the restored graphs — no operator reload, mutations
+// intact, graph still live.
+func TestRunWarmRestart(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n0 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: preload a live graph, mutate it, shut down gracefully.
+	o1 := &options{addr: "127.0.0.1:0", drain: 5 * time.Second, stateDir: stateDir,
+		loads: []loadSpec{{name: "feed", path: path, live: true}}}
+	addr, logs, done, cancel := startRun(t, o1)
+	mresp, err := http.Post("http://"+addr+"/graphs/feed/edges", "application/json",
+		bytes.NewReader([]byte(`{"mutations":[{"op":"insert","u":1,"v":3}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation = %d, want 200", mresp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first life exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first life did not exit")
+	}
+	if !strings.Contains(logs.String(), "saved 1 graphs to "+stateDir) {
+		t.Fatalf("no shutdown snapshot in the log:\n%s", logs.String())
+	}
+
+	// Second life: no -load at all — the state directory is the only source.
+	o2 := &options{addr: "127.0.0.1:0", drain: 5 * time.Second, stateDir: stateDir}
+	addr2, logs2, done2, cancel2 := startRun(t, o2)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	if !strings.Contains(logs2.String(), "warm restart: 1 graphs restored") {
+		t.Fatalf("no warm-restart line in the log:\n%s", logs2.String())
+	}
+
+	// The first post-restart request is a solve, and it finds the mutated
+	// graph resident: 5 edges (the preload's 4 plus the inserted one).
+	resp, err := http.Post("http://"+addr2+"/solve/uds", "application/json",
+		bytes.NewReader([]byte(`{"graph":"feed","algo":"pkmc"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Density float64 `json:"density"`
+		Size    int     `json:"size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart solve = %d, want 200 from resident state", resp.StatusCode)
+	}
+
+	var info struct {
+		M    int64 `json:"m"`
+		Live bool  `json:"live"`
+	}
+	gresp, err := http.Get("http://" + addr2 + "/graphs/feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if err := json.NewDecoder(gresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.M != 5 || !info.Live {
+		t.Fatalf("restored graph = m=%d live=%t, want the mutated m=5 live graph", info.M, info.Live)
+	}
+
+	// Still mutable after restoration.
+	mresp2, err := http.Post("http://"+addr2+"/graphs/feed/edges", "application/json",
+		bytes.NewReader([]byte(`{"mutations":[{"op":"insert","u":2,"v":3}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp2.Body.Close()
+	if mresp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart mutation = %d, want 200", mresp2.StatusCode)
+	}
+}

@@ -40,6 +40,25 @@ const (
 	// error leaves the mutations applied but unversioned; the next
 	// successful batch publishes them.
 	SiteLivePublish = "live.publish"
+	// SiteFlightLeader fires inside a coalesced solve's leader goroutine,
+	// after admission and before the solver runs — a panic here must
+	// poison exactly one flight (every waiter gets the structured 500) and
+	// the next request must start a fresh flight.
+	SiteFlightLeader = "server.flight.leader"
+	// SiteQuotaClock fires on every per-tenant quota clock read. ModeDelay
+	// simulates clock skew (the token bucket must clamp negative elapsed
+	// time); ModeError simulates an unreadable clock, on which the limiter
+	// fails open — overload protection must never turn a clock fault into
+	// an outage.
+	SiteQuotaClock = "server.quota.clock"
+	// SiteSnapshotWrite fires just before a registry snapshot is renamed
+	// into place — an injected error aborts the write, leaving any previous
+	// manifest intact.
+	SiteSnapshotWrite = "server.snapshot.write"
+	// SiteSnapshotLoad fires after a registry snapshot has been read, before
+	// any graph is restored — an injected error (like a corrupt manifest)
+	// degrades the warm restart to a cold start, never a crash.
+	SiteSnapshotLoad = "server.snapshot.load"
 )
 
 // Sites returns every registered probe-site name. Chaos tests iterate it
@@ -57,5 +76,9 @@ func Sites() []string {
 		SiteLiveApply,
 		SiteLiveCompact,
 		SiteLivePublish,
+		SiteFlightLeader,
+		SiteQuotaClock,
+		SiteSnapshotWrite,
+		SiteSnapshotLoad,
 	}
 }

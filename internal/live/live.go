@@ -138,6 +138,10 @@ type Graph struct {
 	// the present entries (the constructor dedups overlap).
 	base  []dsd.Edge
 	delta map[uint64]bool
+	// compactions counts delta-log rebases since the graph was wrapped —
+	// the warm-restart manifest's compaction cursor: while it is zero the
+	// original source plus the delta log reproduces the state exactly.
+	compactions int64
 	// version mirrors the registry; snap caches the last materialized
 	// snapshot so repeated solves between batches share one build.
 	version     int64
@@ -212,6 +216,36 @@ func (lg *Graph) DeltaLen() int {
 	lg.mu.RLock()
 	defer lg.mu.RUnlock()
 	return len(lg.delta)
+}
+
+// Compactions returns how many delta-log compactions have run since the
+// graph was wrapped. Warm restart uses it as the compaction cursor: at
+// zero, replaying DeltaMutations over the original source reproduces the
+// current state; after any compaction the base has been rebased away from
+// the source and the state must be rematerialized instead.
+func (lg *Graph) Compactions() int64 {
+	lg.mu.RLock()
+	defer lg.mu.RUnlock()
+	return lg.compactions
+}
+
+// DeltaMutations returns the delta log as a replayable batch: one OpInsert
+// per present overlay slot, one OpDelete per absent one (order is
+// irrelevant — each slot is independent). Replaying it over the edge state
+// at the last compaction reproduces the current graph.
+func (lg *Graph) DeltaMutations() []Mutation {
+	lg.mu.RLock()
+	defer lg.mu.RUnlock()
+	out := make([]Mutation, 0, len(lg.delta))
+	for k, present := range lg.delta {
+		u, v := unpackKey(k)
+		op := OpDelete
+		if present {
+			op = OpInsert
+		}
+		out = append(out, Mutation{Op: op, U: u, V: v})
+	}
+	return out
 }
 
 // Stats summarizes the current graph. MaxDegree is an upper bound between
@@ -470,6 +504,7 @@ func (lg *Graph) compactLocked() {
 	// duplicates (redundant overlay entries) that the constructor deduped.
 	lg.base = g.Edges()
 	lg.delta = map[uint64]bool{}
+	lg.compactions++
 	lg.m = g.M()
 	lg.maxDeg = g.MaxDegree()
 	lg.snap = nil

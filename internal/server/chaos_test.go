@@ -337,9 +337,109 @@ func TestChaosProbeRegistryCoverage(t *testing.T) {
 		t.Fatalf("coverage mutation did not compact and publish: %+v", res)
 	}
 
+	// server.quota.clock and server.flight.leader: one untraced solve
+	// through a quota-enforcing server walks both — the quota probe inside
+	// tenant admission, the flight probe in the coalesced leader just
+	// before the solver call.
+	s, ts := newTestServer(t, Config{Quota: QuotaConfig{Rate: 1000, MaxConcurrent: 64}})
+	var uresp UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "clique"}, &uresp); got != http.StatusOK {
+		t.Fatalf("coverage solve = %d, want 200", got)
+	}
+
+	// server.snapshot.write and server.snapshot.load: a warm-restart
+	// manifest round-trip through a scratch state directory.
+	dir := t.TempDir()
+	if _, err := s.WriteSnapshot(dir); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if _, err := s.RestoreSnapshot(dir); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+
 	for _, site := range sites {
 		if faultinject.Hits(site) == 0 {
 			t.Errorf("registered probe %s was never exercised by the chaos suite", site)
 		}
+	}
+}
+
+// TestChaosCoalescedLeaderPanic proves a panic in a coalesced flight's
+// leader poisons only that flight: every rider gets a structured 500 (not a
+// dropped connection), the panic counter moves exactly once, and the next
+// identical request starts a fresh flight that succeeds.
+func TestChaosCoalescedLeaderPanic(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Arm(faultinject.SiteFlightLeader, faultinject.Fault{
+		Mode:  faultinject.ModePanic,
+		Every: 1,
+		Count: 1,
+	})
+
+	// The gate holds the one leader inside its flight until every rider has
+	// joined; the probe fires after the gate, so the panic detonates with a
+	// full complement of waiters attached.
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.solveGate = func() {
+		once.Do(func() { close(admitted); <-release })
+	}
+
+	const burst = 8
+	key := cacheKey("clique", 1, "uds", "", SolveOptions{})
+	type outcome struct {
+		status int
+		code   string
+	}
+	results := make(chan outcome, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(SolveRequest{Graph: "clique"})
+			resp, err := http.Post(ts.URL+"/solve/uds", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("transport error (server crashed?): %v", err)
+				results <- outcome{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var eb errorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			results <- outcome{status: resp.StatusCode, code: eb.Error.Code}
+		}()
+	}
+	<-admitted
+	for deadline := time.Now().Add(5 * time.Second); s.flights.waiting(key) < burst; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests joined the flight", s.flights.waiting(key), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	for r := range results {
+		if r.status != http.StatusInternalServerError || r.code != CodeInternal {
+			t.Errorf("rider got %d %q, want 500 %q", r.status, r.code, CodeInternal)
+		}
+	}
+	if got := s.Metrics().Panics.Value(); got != 1 {
+		t.Fatalf("panics metric = %d, want 1 (one poisoned flight, not one per rider)", got)
+	}
+
+	// The poisoned flight is gone; an identical request leads a fresh one.
+	s.solveGate = nil
+	var resp UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "clique"}, &resp); got != http.StatusOK {
+		t.Fatalf("post-panic solve = %d, want 200", got)
+	}
+	if resp.Density != 1.5 || resp.Coalesced {
+		t.Fatalf("post-panic solve = density %v coalesced %v, want 1.5 fresh", resp.Density, resp.Coalesced)
 	}
 }

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// Degrade policies. DegradeAuto inspects every deadline-carrying solve
+// request against the server's observed per-graph/per-algorithm latency
+// estimates: an exact solve predicted to blow its deadline is downgraded
+// along the degradation ladder to a registered approximation (the response
+// carries "degraded": true plus the approximation's guarantee), and when
+// even the cheapest rung is predicted to miss, the request is rejected up
+// front with a structured 503 carrying the estimated cost — a slot is
+// never burned on a solve that is doomed to deadline-cancel.
+const (
+	DegradeOff  = "off"
+	DegradeAuto = "auto"
+)
+
+// degradeSafety is the headroom factor: an algorithm is considered viable
+// when its estimated latency fits inside budget/degradeSafety, leaving
+// room for queueing and estimate noise.
+const degradeSafety = 1.25
+
+// degradeRung is one fallback step: a cheaper algorithm plus the
+// approximation guarantee it still carries (surfaced on degraded
+// responses so clients know what they got).
+type degradeRung struct {
+	algo      dsd.Algo
+	guarantee string
+}
+
+// degradeLadder returns the fallback rungs for an exact-grade algorithm,
+// nil for anything already approximate (approximations are never degraded
+// further — they are the floor). The UDS ladder tries GreedyPP first
+// (near-exact in practice, 2-approx worst case) and PKMC as the floor
+// (the paper's Algorithm 2, 2-approx via the k*-core); DDS falls to PWC
+// (Algorithms 3-4, 2-approx via the w*-induced subgraph).
+func degradeLadder(family string, algo dsd.Algo) []degradeRung {
+	switch family {
+	case "uds":
+		switch algo {
+		case dsd.AlgoExact, dsd.AlgoExactPruned, dsd.AlgoExactEps:
+			return []degradeRung{
+				{dsd.AlgoGreedyPP, "2-approximation (iterated peeling)"},
+				{dsd.AlgoPKMC, "2-approximation (k*-core)"},
+			}
+		}
+	case "dds":
+		switch algo {
+		case dsd.AlgoExactDDS, dsd.AlgoExactPrunedDDS, dsd.AlgoBrute:
+			return []degradeRung{
+				{dsd.AlgoPWC, "2-approximation (w*-induced subgraph)"},
+			}
+		}
+	}
+	return nil
+}
+
+// effectiveAlgo resolves the wire algorithm name to the one the solver
+// will actually run (the family default when empty) — the estimator and
+// the degradation ladder key on this.
+func effectiveAlgo(family, algo string) dsd.Algo {
+	if algo != "" {
+		return dsd.Algo(algo)
+	}
+	if family == "dds" {
+		return dsd.AlgoPWC
+	}
+	return dsd.AlgoPKMC
+}
+
+// planSolve applies the degradation policy to one solve request: given the
+// graph, requested algorithm, and the request's deadline budget, it
+// returns the algorithm to run plus the degradation bookkeeping for the
+// response. With the policy off, no deadline, or no latency history for
+// the requested algorithm, the request runs as asked. A non-nil apiError
+// is the up-front 503 for requests no rung can satisfy.
+func (s *Server) planSolve(family, graphName string, algo dsd.Algo, timeout time.Duration) (run dsd.Algo, degradedFrom string, guarantee string, aerr *apiError) {
+	if s.cfg.DegradePolicy != DegradeAuto || timeout <= 0 {
+		return algo, "", "", nil
+	}
+	budget := float64(timeout/time.Millisecond) / degradeSafety
+	est, ok := s.metrics.EstimateMs(graphName, string(algo))
+	if !ok || est <= budget {
+		return algo, "", "", nil
+	}
+	ladder := degradeLadder(family, algo)
+	if ladder == nil {
+		// Already an approximation (or unknown grade): nothing cheaper is
+		// registered, so reject up front rather than burn a doomed slot.
+		return algo, "", "", errDeadlineInfeasible(graphName, string(algo), est, timeout)
+	}
+	for _, rung := range ladder {
+		rest, known := s.metrics.EstimateMs(graphName, string(rung.algo))
+		if !known || rest <= budget {
+			s.metrics.DegradedSolves.Add(1)
+			return rung.algo, string(algo), rung.guarantee, nil
+		}
+		if rest < est {
+			est = rest // report the cheapest known cost on rejection
+		}
+	}
+	return algo, "", "", errDeadlineInfeasible(graphName, string(algo), est, timeout)
+}
+
+// errDeadlineInfeasible is the structured 503 for solves no degradation
+// rung can finish in budget: the estimated cost rides along so clients can
+// retry with a realistic deadline.
+func errDeadlineInfeasible(graphName, algo string, estimatedMs float64, timeout time.Duration) *apiError {
+	return &apiError{
+		status: http.StatusServiceUnavailable,
+		code:   CodeDeadlineInfeasible,
+		message: fmt.Sprintf("solve of %q with %q is estimated at %.0fms, beyond the %v deadline (including degradation fallbacks)",
+			graphName, algo, estimatedMs, timeout),
+		retryAfter:  1,
+		estimatedMs: estimatedMs,
+	}
+}

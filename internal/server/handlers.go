@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/faultinject"
 	"repro/internal/live"
 )
 
@@ -107,7 +108,17 @@ type UDSResponse struct {
 	Iterations int     `json:"iterations,omitempty"`
 	Vertices   []int32 `json:"vertices,omitempty"`
 	Cached     bool    `json:"cached"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	// Coalesced marks an answer that rode another request's identical
+	// in-flight solve instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded marks an answer computed by a cheaper algorithm than the
+	// request named, because the deadline-aware policy predicted the
+	// requested one would miss the deadline; DegradedFrom names what was
+	// asked for and Guarantee the approximation bound actually delivered.
+	Degraded     bool    `json:"degraded,omitempty"`
+	DegradedFrom string  `json:"degraded_from,omitempty"`
+	Guarantee    string  `json:"guarantee,omitempty"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
 	// Trace is present only when the request set options.trace.
 	Trace *dsd.Trace `json:"trace,omitempty"`
 }
@@ -127,7 +138,12 @@ type DDSResponse struct {
 	S          []int32 `json:"s,omitempty"`
 	T          []int32 `json:"t,omitempty"`
 	Cached     bool    `json:"cached"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	// Coalesced / Degraded / DegradedFrom / Guarantee: see UDSResponse.
+	Coalesced    bool    `json:"coalesced,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	DegradedFrom string  `json:"degraded_from,omitempty"`
+	Guarantee    string  `json:"guarantee,omitempty"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
 	// Trace is present only when the request set options.trace.
 	Trace *dsd.Trace `json:"trace,omitempty"`
 }
@@ -188,8 +204,13 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiErr
 		return errBadRequest("live graphs must be undirected (incremental core maintenance has no directed analogue)")
 	}
 	// Parsing a multi-gigabyte edge list is solver-grade work; loads share
-	// the solve semaphore.
-	if aerr := s.acquire(r); aerr != nil {
+	// the solve semaphore (and count against the tenant's quota).
+	release, aerr := s.quota.admit(tenantOf(r))
+	if aerr != nil {
+		return aerr
+	}
+	defer release()
+	if aerr := s.acquire(r.Context()); aerr != nil {
 		return aerr
 	}
 	defer s.release()
@@ -252,11 +273,10 @@ func cacheKey(name string, version int64, family, algo string, o SolveOptions) s
 		o.Workers, o.Epsilon, o.Delta, o.Iterations, o.BudgetMs, !o.OmitVertices)
 }
 
-// solveContext derives the request's solver context: the client deadline
-// (request timeout or the server default, capped by the server maximum)
-// layered over the HTTP request context, so both a timeout and a client
-// disconnect cancel the solver.
-func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context, context.CancelFunc) {
+// requestTimeout resolves a solve request's effective deadline: its own
+// timeout_ms, else the server default, both capped by the server maximum.
+// 0 means unbounded.
+func (s *Server) requestTimeout(o SolveOptions) time.Duration {
 	timeout := s.cfg.DefaultTimeout
 	if o.TimeoutMs > 0 {
 		timeout = time.Duration(o.TimeoutMs) * time.Millisecond
@@ -264,6 +284,17 @@ func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context,
 	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
 		timeout = s.cfg.MaxTimeout
 	}
+	return timeout
+}
+
+// solveContext derives the request's solver context: the client deadline
+// (request timeout or the server default, capped by the server maximum)
+// layered over the HTTP request context, so both a timeout and a client
+// disconnect cancel the solver. On the coalesced path this context bounds
+// only the request's own wait — the shared solve runs under the flight
+// context, so one impatient waiter cannot kill an answer others still want.
+func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context, context.CancelFunc) {
+	timeout := s.requestTimeout(o)
 	if timeout <= 0 {
 		return context.WithCancel(r.Context())
 	}
@@ -306,12 +337,24 @@ func (s *Server) newTrace(o SolveOptions) *dsd.Trace {
 // timings are folded in only under Config.TracePhases — a client-requested
 // trace alone should not perturb the server's aggregate phase metrics
 // half-armed.
-func (s *Server) observeSolve(graphName, algo string, start time.Time, tr *dsd.Trace) {
+func (s *Server) observeSolve(graphName, algo, wireAlgo string, start time.Time, tr *dsd.Trace) {
 	var phases []dsd.TracePhase
 	if s.cfg.TracePhases && tr != nil {
 		phases = tr.Phases
 	}
-	s.metrics.ObserveSolve(graphName, algo, time.Since(start), phases)
+	s.metrics.ObserveSolve(graphName, algo, wireAlgo, time.Since(start), phases)
+}
+
+// flightContext derives the shared solve's context from the flight
+// context: capped by the server maximum only. Individual waiters' deadlines
+// deliberately do not bound it — the solve outlives any one impatient
+// waiter and stops only when the last waiter detaches (the flight context
+// is canceled) or the server cap expires.
+func (s *Server) flightContext(fctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.MaxTimeout > 0 {
+		return context.WithTimeout(fctx, s.cfg.MaxTimeout)
+	}
+	return context.WithCancel(fctx)
 }
 
 // handleSolveUDS serves POST /solve/uds.
@@ -320,6 +363,11 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
+	release, aerr := s.quota.admit(tenantOf(r))
+	if aerr != nil {
+		return aerr
+	}
+	defer release()
 	e, err := s.reg.Get(req.Graph)
 	if err != nil {
 		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
@@ -338,59 +386,121 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if e.Live != nil {
 		g, version = e.Live.Snapshot()
 	}
-	key := cacheKey(e.Name, version, "uds", req.Algo, req.Options)
+	solveAlgo := dsd.Algo(req.Algo)
+	run, degradedFrom, guarantee, aerr := s.planSolve("uds", e.Name,
+		effectiveAlgo("uds", req.Algo), s.requestTimeout(req.Options))
+	if aerr != nil {
+		return aerr
+	}
+	if degradedFrom != "" {
+		// The degraded request keys, coalesces, and caches as the algorithm
+		// it actually runs; the cached entry stays canonical (undegraded) so
+		// direct requesters of the approximation never see degraded: true.
+		solveAlgo = run
+	}
+	wireAlgo := string(effectiveAlgo("uds", string(solveAlgo)))
+	key := cacheKey(e.Name, version, "uds", string(solveAlgo), req.Options)
 	start := time.Now()
+	finish := func(resp UDSResponse) *apiError {
+		if degradedFrom != "" {
+			resp.Degraded = true
+			resp.DegradedFrom = degradedFrom
+			resp.Guarantee = guarantee
+		}
+		resp.ElapsedMs = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	if !req.Options.Trace {
 		if v, ok := s.cache.Get(key); ok {
 			resp := v.(UDSResponse) // copy; Cached/ElapsedMs are per-request
 			resp.Cached = true
-			resp.ElapsedMs = msSince(start)
-			writeJSON(w, http.StatusOK, resp)
-			return nil
+			return finish(resp)
 		}
 	}
-	if aerr := s.acquire(r); aerr != nil {
+	solve := func(ctx context.Context) (UDSResponse, *apiError) {
+		sstart := time.Now()
+		tr := s.newTrace(req.Options)
+		res, err := dsd.SolveUDS(g, solveAlgo, dsd.Options{
+			Workers:    req.Options.Workers,
+			Epsilon:    req.Options.Epsilon,
+			Delta:      req.Options.Delta,
+			Iterations: req.Options.Iterations,
+			Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
+			Ctx:        ctx,
+			Trace:      tr,
+		})
+		if err != nil {
+			return UDSResponse{}, s.solveError(ctx, err)
+		}
+		s.observeSolve(e.Name, res.Algorithm, wireAlgo, sstart, tr)
+		resp := UDSResponse{
+			Graph:      e.Name,
+			Version:    version,
+			Algorithm:  res.Algorithm,
+			Density:    res.Density,
+			Size:       len(res.Vertices),
+			KStar:      res.KStar,
+			Iterations: res.Iterations,
+		}
+		if !req.Options.OmitVertices {
+			resp.Vertices = res.Vertices
+		}
+		s.cache.Put(key, resp) // stored without the per-run trace
+		if req.Options.Trace {
+			resp.Trace = tr
+		}
+		return resp, nil
+	}
+	if req.Options.Trace {
+		// A trace is a per-run artifact: traced solves never coalesce and
+		// run under the request's own context, exactly as before.
+		if aerr := s.acquire(r.Context()); aerr != nil {
+			return aerr
+		}
+		defer s.release()
+		ctx, cancel := s.solveContext(r, req.Options)
+		defer cancel()
+		if s.solveGate != nil {
+			s.solveGate()
+		}
+		resp, aerr := solve(ctx)
+		if aerr != nil {
+			return aerr
+		}
+		return finish(resp)
+	}
+	waitCtx, cancel := s.solveContext(r, req.Options)
+	defer cancel()
+	v, aerr, shared := s.flights.do(key, waitCtx, func(fctx context.Context) (any, *apiError) {
+		if aerr := s.acquire(fctx); aerr != nil {
+			return nil, aerr
+		}
+		defer s.release()
+		ctx, cancel := s.flightContext(fctx)
+		defer cancel()
+		if s.solveGate != nil {
+			s.solveGate()
+		}
+		if err := faultinject.Hit(faultinject.SiteFlightLeader); err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, code: CodeInternal,
+				message: "injected flight-leader fault: " + err.Error()}
+		}
+		resp, aerr := solve(ctx)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return resp, nil
+	})
+	if shared {
+		s.metrics.CoalescedSolves.Add(1)
+	}
+	if aerr != nil {
 		return aerr
 	}
-	defer s.release()
-	ctx, cancel := s.solveContext(r, req.Options)
-	defer cancel()
-	if s.solveGate != nil {
-		s.solveGate()
-	}
-	tr := s.newTrace(req.Options)
-	res, err := dsd.SolveUDS(g, dsd.Algo(req.Algo), dsd.Options{
-		Workers:    req.Options.Workers,
-		Epsilon:    req.Options.Epsilon,
-		Delta:      req.Options.Delta,
-		Iterations: req.Options.Iterations,
-		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
-		Ctx:        ctx,
-		Trace:      tr,
-	})
-	if err != nil {
-		return s.solveError(ctx, err)
-	}
-	s.observeSolve(e.Name, res.Algorithm, start, tr)
-	resp := UDSResponse{
-		Graph:      e.Name,
-		Version:    version,
-		Algorithm:  res.Algorithm,
-		Density:    res.Density,
-		Size:       len(res.Vertices),
-		KStar:      res.KStar,
-		Iterations: res.Iterations,
-	}
-	if !req.Options.OmitVertices {
-		resp.Vertices = res.Vertices
-	}
-	s.cache.Put(key, resp) // stored without the per-run trace
-	if req.Options.Trace {
-		resp.Trace = tr
-	}
-	resp.ElapsedMs = msSince(start)
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	resp := v.(UDSResponse)
+	resp.Coalesced = shared
+	return finish(resp)
 }
 
 // handleSolveDDS serves POST /solve/dds.
@@ -399,6 +509,11 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
+	release, aerr := s.quota.admit(tenantOf(r))
+	if aerr != nil {
+		return aerr
+	}
+	defer release()
 	e, err := s.reg.Get(req.Graph)
 	if err != nil {
 		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}
@@ -409,66 +524,124 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if !validAlgo(req.Algo, dsd.DDSAlgorithms()) {
 		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
 	}
-	key := cacheKey(e.Name, e.Version, "dds", req.Algo, req.Options)
+	solveAlgo := dsd.Algo(req.Algo)
+	run, degradedFrom, guarantee, aerr := s.planSolve("dds", e.Name,
+		effectiveAlgo("dds", req.Algo), s.requestTimeout(req.Options))
+	if aerr != nil {
+		return aerr
+	}
+	if degradedFrom != "" {
+		solveAlgo = run // see handleSolveUDS
+	}
+	wireAlgo := string(effectiveAlgo("dds", string(solveAlgo)))
+	key := cacheKey(e.Name, e.Version, "dds", string(solveAlgo), req.Options)
 	start := time.Now()
+	finish := func(resp DDSResponse) *apiError {
+		if degradedFrom != "" {
+			resp.Degraded = true
+			resp.DegradedFrom = degradedFrom
+			resp.Guarantee = guarantee
+		}
+		resp.ElapsedMs = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	if !req.Options.Trace {
 		if v, ok := s.cache.Get(key); ok {
 			resp := v.(DDSResponse)
 			resp.Cached = true
-			resp.ElapsedMs = msSince(start)
-			writeJSON(w, http.StatusOK, resp)
-			return nil
+			return finish(resp)
 		}
 	}
-	if aerr := s.acquire(r); aerr != nil {
-		return aerr
-	}
-	defer s.release()
-	ctx, cancel := s.solveContext(r, req.Options)
-	defer cancel()
-	if s.solveGate != nil {
-		s.solveGate()
-	}
-	tr := s.newTrace(req.Options)
-	res, err := dsd.SolveDDS(e.D, dsd.Algo(req.Algo), dsd.Options{
-		Workers:    req.Options.Workers,
-		Epsilon:    req.Options.Epsilon,
-		Delta:      req.Options.Delta,
-		Iterations: req.Options.Iterations,
-		Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
-		Ctx:        ctx,
-		Trace:      tr,
-	})
-	if err != nil {
-		return s.solveError(ctx, err)
-	}
-	s.observeSolve(e.Name, res.Algorithm, start, tr)
-	resp := DDSResponse{
-		Graph:      e.Name,
-		Version:    e.Version,
-		Algorithm:  res.Algorithm,
-		Density:    res.Density,
-		SizeS:      len(res.S),
-		SizeT:      len(res.T),
-		XStar:      res.XStar,
-		YStar:      res.YStar,
-		Iterations: res.Iterations,
-		TimedOut:   res.TimedOut,
-	}
-	if !req.Options.OmitVertices {
-		resp.S, resp.T = res.S, res.T
-	}
-	// A budget-truncated sweep is wall-clock dependent — rerunning it with
-	// more time may do better, so best-so-far answers are not cached.
-	if !res.TimedOut {
-		s.cache.Put(key, resp) // stored without the per-run trace
+	solve := func(ctx context.Context) (DDSResponse, *apiError) {
+		sstart := time.Now()
+		tr := s.newTrace(req.Options)
+		res, err := dsd.SolveDDS(e.D, solveAlgo, dsd.Options{
+			Workers:    req.Options.Workers,
+			Epsilon:    req.Options.Epsilon,
+			Delta:      req.Options.Delta,
+			Iterations: req.Options.Iterations,
+			Budget:     time.Duration(req.Options.BudgetMs) * time.Millisecond,
+			Ctx:        ctx,
+			Trace:      tr,
+		})
+		if err != nil {
+			return DDSResponse{}, s.solveError(ctx, err)
+		}
+		s.observeSolve(e.Name, res.Algorithm, wireAlgo, sstart, tr)
+		resp := DDSResponse{
+			Graph:      e.Name,
+			Version:    e.Version,
+			Algorithm:  res.Algorithm,
+			Density:    res.Density,
+			SizeS:      len(res.S),
+			SizeT:      len(res.T),
+			XStar:      res.XStar,
+			YStar:      res.YStar,
+			Iterations: res.Iterations,
+			TimedOut:   res.TimedOut,
+		}
+		if !req.Options.OmitVertices {
+			resp.S, resp.T = res.S, res.T
+		}
+		// A budget-truncated sweep is wall-clock dependent — rerunning it
+		// with more time may do better, so best-so-far answers are not
+		// cached.
+		if !res.TimedOut {
+			s.cache.Put(key, resp) // stored without the per-run trace
+		}
+		if req.Options.Trace {
+			resp.Trace = tr
+		}
+		return resp, nil
 	}
 	if req.Options.Trace {
-		resp.Trace = tr
+		if aerr := s.acquire(r.Context()); aerr != nil {
+			return aerr
+		}
+		defer s.release()
+		ctx, cancel := s.solveContext(r, req.Options)
+		defer cancel()
+		if s.solveGate != nil {
+			s.solveGate()
+		}
+		resp, aerr := solve(ctx)
+		if aerr != nil {
+			return aerr
+		}
+		return finish(resp)
 	}
-	resp.ElapsedMs = msSince(start)
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	waitCtx, cancel := s.solveContext(r, req.Options)
+	defer cancel()
+	v, aerr, shared := s.flights.do(key, waitCtx, func(fctx context.Context) (any, *apiError) {
+		if aerr := s.acquire(fctx); aerr != nil {
+			return nil, aerr
+		}
+		defer s.release()
+		ctx, cancel := s.flightContext(fctx)
+		defer cancel()
+		if s.solveGate != nil {
+			s.solveGate()
+		}
+		if err := faultinject.Hit(faultinject.SiteFlightLeader); err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, code: CodeInternal,
+				message: "injected flight-leader fault: " + err.Error()}
+		}
+		resp, aerr := solve(ctx)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return resp, nil
+	})
+	if shared {
+		s.metrics.CoalescedSolves.Add(1)
+	}
+	if aerr != nil {
+		return aerr
+	}
+	resp := v.(DDSResponse)
+	resp.Coalesced = shared
+	return finish(resp)
 }
 
 // MutationOp is one edge change in a POST /graphs/{name}/edges batch.
@@ -508,6 +681,11 @@ func errNotLive(name string) *apiError {
 // O(changed neighborhood), and serializing them behind multi-second solves
 // would make the write path unusable exactly when the read path is busy.
 func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) *apiError {
+	release, aerr := s.quota.admit(tenantOf(r))
+	if aerr != nil {
+		return aerr
+	}
+	defer release()
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
 		return &apiError{status: http.StatusNotFound, code: CodeUnknownGraph, message: err.Error()}

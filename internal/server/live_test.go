@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -235,5 +236,89 @@ func TestLiveConcurrentMutateSolve(t *testing.T) {
 	if dres.KStar != sres.KStar || dres.Density != sres.Density || dres.Size != sres.Size {
 		t.Fatalf("standing answer diverged from from-scratch recompute: live k*=%d ρ=%g |S|=%d, recompute k*=%d ρ=%g |S|=%d",
 			dres.KStar, dres.Density, dres.Size, sres.KStar, sres.Density, sres.Size)
+	}
+}
+
+// TestLivePublishMidFlight pins the version discipline of coalescing on a
+// mutating graph: a solve keys on the (snapshot, version) pair taken at
+// admission, so a request arriving after a mid-flight version publish must
+// not ride the stale flight — it runs (and caches) against the new version,
+// while the stale flight's riders get a result honestly labeled with the
+// displaced version it was computed from.
+func TestLivePublishMidFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	info := loadLive(t, ts.URL, "lg", "0 1\n1 2\n2 0\n0 3\n")
+
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	s.solveGate = func() {
+		if first.CompareAndSwap(true, false) {
+			close(admitted)
+			<-release
+		}
+	}
+
+	// Request A snapshots the pre-mutation state; its flight leader parks
+	// behind the gate.
+	stale := make(chan UDSResponse, 1)
+	go func() {
+		var resp UDSResponse
+		if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "lg"}, &resp); got != http.StatusOK {
+			t.Errorf("stale-flight request = %d, want 200", got)
+		}
+		stale <- resp
+	}()
+	<-admitted
+
+	// A mutation publishes a new version while A's flight is in the air.
+	var mres MutateResponse
+	req := MutateRequest{Mutations: []MutationOp{
+		{Op: "insert", U: 1, V: 3},
+		{Op: "insert", U: 2, V: 3},
+	}}
+	if got := doJSON(t, "POST", ts.URL+"/graphs/lg/edges", req, &mres); got != http.StatusOK {
+		t.Fatalf("mid-flight mutation = %d, want 200", got)
+	}
+	if mres.Version <= info.Version {
+		t.Fatalf("mutation did not advance the version: %d -> %d", info.Version, mres.Version)
+	}
+
+	// Request B arrives after the publish: its snapshot is the new
+	// version, its key differs, and it must not join A's stale flight.
+	var fresh UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "lg"}, &fresh); got != http.StatusOK {
+		t.Fatalf("post-publish request = %d, want 200", got)
+	}
+	if fresh.Coalesced || fresh.Cached {
+		t.Fatalf("post-publish request = coalesced %v cached %v, want a fresh solve", fresh.Coalesced, fresh.Cached)
+	}
+	if fresh.Version != mres.Version {
+		t.Fatalf("post-publish result version = %d, want %d", fresh.Version, mres.Version)
+	}
+	if fresh.Density != 1.5 {
+		t.Fatalf("post-publish density = %v, want the 4-clique's 1.5", fresh.Density)
+	}
+
+	// A's riders get the displaced version's answer, labeled as such —
+	// never the new version's key with the old version's data.
+	close(release)
+	got := <-stale
+	if got.Version != info.Version {
+		t.Fatalf("stale-flight result version = %d, want the displaced %d", got.Version, info.Version)
+	}
+	if got.Density == 1.5 {
+		t.Fatal("stale-flight result contains post-mutation data under the old version")
+	}
+
+	// The cache serves the current version: a repeat request hits B's
+	// entry (the publish invalidated nothing newer than it).
+	var cached UDSResponse
+	if got := doJSON(t, "POST", ts.URL+"/solve/uds", SolveRequest{Graph: "lg"}, &cached); got != http.StatusOK {
+		t.Fatalf("repeat request = %d, want 200", got)
+	}
+	if !cached.Cached || cached.Version != mres.Version {
+		t.Fatalf("repeat = cached %v version %d, want a hit on version %d", cached.Cached, cached.Version, mres.Version)
 	}
 }

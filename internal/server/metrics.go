@@ -61,8 +61,32 @@ type Metrics struct {
 	LiveCompactions     expvar.Int
 	LiveCompactionMsSum expvar.Float
 	LiveRecomputes      expvar.Int
+	// CoalescedSolves counts requests that rode another request's in-flight
+	// solve instead of running their own — the singleflight savings gauge
+	// (a burst of N identical queries shows N-1 here and 1 in the solve
+	// counters).
+	CoalescedSolves expvar.Int
+	// DegradedSolves counts requests the deadline-aware policy downgraded
+	// from an exact solver to a registered approximation.
+	DegradedSolves expvar.Int
+	// RequestsByTenant / QuotaRejectsByTenant split the expensive-route
+	// traffic (solves, mutations, loads) per X-DSD-Tenant header — the
+	// noisy-neighbor forensics a 429 spike calls for.
+	RequestsByTenant     expvar.Map
+	QuotaRejectsByTenant expvar.Map
+	// SolveEstimateMs is the per-"graph/algo" latency estimate (EWMA of
+	// completed uncached solves, milliseconds) that the degradation policy
+	// consults; exported so operators can see why a request was degraded.
+	SolveEstimateMs expvar.Map
+	// SnapshotSaves / SnapshotRestores count registry manifest writes and
+	// warm-restart restores (graphs brought back resident).
+	SnapshotSaves    expvar.Int
+	SnapshotRestores expvar.Int
 
 	maxMu sync.Mutex // LatencyMsMax read-modify-write
+
+	estMu sync.Mutex // SolveEstimateMs EWMA read-modify-write
+	est   map[string]float64
 }
 
 // NewMetrics returns a zeroed, unpublished metrics set.
@@ -78,6 +102,10 @@ func NewMetrics() *Metrics {
 	m.PhaseMsSum.Init()
 	m.MutationsByGraph.Init()
 	m.RepairTouchedHist.Init()
+	m.RequestsByTenant.Init()
+	m.QuotaRejectsByTenant.Init()
+	m.SolveEstimateMs.Init()
+	m.est = map[string]float64{}
 	return m
 }
 
@@ -94,17 +122,51 @@ func latencyBucket(elapsed time.Duration) string {
 	return "inf"
 }
 
+// estimateAlpha is the EWMA weight of the newest sample in the per-
+// (graph, algorithm) latency estimate — high enough to track a graph that
+// just grew, low enough that one noisy solve does not flip the degradation
+// policy.
+const estimateAlpha = 0.3
+
 // ObserveSolve records one completed, uncached solve: the per-graph and
-// per-algorithm counters and the latency histogram bucket. phases, when
-// non-nil (Config.TracePhases), folds each solver phase's wall time into
+// per-algorithm counters, the latency histogram bucket, and the
+// (graph, wireAlgo) latency estimate the degradation policy consults.
+// algo is the solver-reported name (e.g. "PKMC"); wireAlgo the canonical
+// request-side name (e.g. "pkmc") — estimates must key on what clients
+// ask for, which is what planSolve gets to see. phases, when non-nil
+// (Config.TracePhases), folds each solver phase's wall time into
 // PhaseMsSum under "algo/phase".
-func (m *Metrics) ObserveSolve(graphName, algo string, elapsed time.Duration, phases []trace.Phase) {
+func (m *Metrics) ObserveSolve(graphName, algo, wireAlgo string, elapsed time.Duration, phases []trace.Phase) {
 	m.SolvesByGraph.Add(graphName, 1)
 	m.SolvesByAlgo.Add(algo, 1)
 	m.SolveLatencyHist.Add(latencyBucket(elapsed), 1)
 	for _, ph := range phases {
 		m.PhaseMsSum.AddFloat(algo+"/"+ph.Name, ph.Seconds*1000)
 	}
+	if wireAlgo == "" {
+		return
+	}
+	key := graphName + "/" + wireAlgo
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m.estMu.Lock()
+	if old, ok := m.est[key]; ok {
+		ms = (1-estimateAlpha)*old + estimateAlpha*ms
+	}
+	m.est[key] = ms
+	m.estMu.Unlock()
+	ev := new(expvar.Float)
+	ev.Set(ms)
+	m.SolveEstimateMs.Set(key, ev)
+}
+
+// EstimateMs returns the current latency estimate for one (graph,
+// request-side algorithm) pair, false when no uncached solve has been
+// observed for it yet.
+func (m *Metrics) EstimateMs(graphName, wireAlgo string) (float64, bool) {
+	m.estMu.Lock()
+	defer m.estMu.Unlock()
+	ms, ok := m.est[graphName+"/"+wireAlgo]
+	return ms, ok
 }
 
 // countBucket is latencyBucket for unitless counts (repair sizes): the
@@ -170,7 +232,7 @@ func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
 // snapshot renders the metrics as one JSON object (expvar vars stringify
 // to JSON by contract).
 func (m *Metrics) snapshot() string {
-	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s,"mutations_by_graph":%s,"mutation_edges":%s,"repair_touched_hist":%s,"live_compactions":%s,"live_compaction_ms_sum":%s,"live_recomputes":%s}`,
+	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s,"mutations_by_graph":%s,"mutation_edges":%s,"repair_touched_hist":%s,"live_compactions":%s,"live_compaction_ms_sum":%s,"live_recomputes":%s,"coalesced_solves":%s,"degraded_solves":%s,"requests_by_tenant":%s,"quota_rejects_by_tenant":%s,"solve_estimate_ms":%s,"snapshot_saves":%s,"snapshot_restores":%s}`,
 		m.Requests.String(), m.ErrorsByCode.String(),
 		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
 		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String(),
@@ -178,7 +240,11 @@ func (m *Metrics) snapshot() string {
 		m.SolveLatencyHist.String(), m.PhaseMsSum.String(),
 		m.MutationsByGraph.String(), m.MutationEdges.String(),
 		m.RepairTouchedHist.String(), m.LiveCompactions.String(),
-		m.LiveCompactionMsSum.String(), m.LiveRecomputes.String())
+		m.LiveCompactionMsSum.String(), m.LiveRecomputes.String(),
+		m.CoalescedSolves.String(), m.DegradedSolves.String(),
+		m.RequestsByTenant.String(), m.QuotaRejectsByTenant.String(),
+		m.SolveEstimateMs.String(), m.SnapshotSaves.String(),
+		m.SnapshotRestores.String())
 }
 
 // rawJSON marks an already-encoded JSON string so expvar.Func does not

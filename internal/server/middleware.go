@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -30,6 +33,14 @@ const (
 	// CodeBacklog rejects a mutation when the graph's single-writer queue
 	// is full — the write-side overload signal, a 429 with Retry-After.
 	CodeBacklog = "mutation_backlog"
+	// CodeQuotaExceeded rejects a request whose tenant is over its token-
+	// bucket rate or concurrent-request cap — a 429 with Retry-After.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeDeadlineInfeasible rejects a solve up front when the degradation
+	// policy predicts that no registered algorithm — the requested one or
+	// any fallback rung — can finish inside the request deadline; the body
+	// carries estimated_ms so clients can retry with a realistic budget.
+	CodeDeadlineInfeasible = "deadline_infeasible"
 )
 
 // apiError carries a structured error through handler returns.
@@ -38,8 +49,13 @@ type apiError struct {
 	code    string
 	message string
 	// retryAfter, when positive, emits a Retry-After header (seconds) —
-	// set on overload rejections so well-behaved clients back off.
+	// set on overload rejections so well-behaved clients back off. The
+	// emitted value is jittered ±20% by writeError so a herd of clients
+	// sharing one rejection wave does not retry in lockstep.
 	retryAfter int
+	// estimatedMs, when positive, rides along in the error body — set on
+	// deadline_infeasible rejections so clients learn the predicted cost.
+	estimatedMs float64
 }
 
 func (e *apiError) Error() string { return e.message }
@@ -51,20 +67,38 @@ func errBadRequest(msg string) *apiError {
 // errorBody is the JSON wire shape of a failed request.
 type errorBody struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code        string  `json:"code"`
+		Message     string  `json:"message"`
+		EstimatedMs float64 `json:"estimated_ms,omitempty"`
 	} `json:"error"`
+}
+
+// jitterRetryAfter spreads a Retry-After value uniformly within ±20% so
+// the clients sharing one overload wave (a shed queue, an exhausted quota
+// bucket) come back staggered instead of as a synchronized herd that
+// recreates the spike. Never returns less than one second — zero would
+// invite an immediate retry, defeating the header.
+func jitterRetryAfter(seconds int) int {
+	if seconds < 1 {
+		seconds = 1
+	}
+	j := int(math.Round(float64(seconds) * (0.8 + 0.4*rand.Float64())))
+	if j < 1 {
+		j = 1
+	}
+	return j
 }
 
 // writeError emits the structured error response and counts it.
 func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	s.metrics.Error(e.code)
 	if e.retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+		w.Header().Set("Retry-After", strconv.Itoa(jitterRetryAfter(e.retryAfter)))
 	}
 	var body errorBody
 	body.Error.Code = e.code
 	body.Error.Message = e.message
+	body.Error.EstimatedMs = e.estimatedMs
 	writeJSON(w, e.status, body)
 }
 
@@ -100,8 +134,8 @@ func (s *Server) route(label string, h apiHandler) http.Handler {
 				log.Printf("server: recovered panic in %s: %v", label, rec)
 				// If the handler already wrote a header this is a no-op
 				// write on a half-sent response; nothing better exists.
-				s.writeError(w, &apiError{http.StatusInternalServerError, CodeInternal,
-					fmt.Sprintf("internal error (recovered panic): %v", rec), 0})
+				s.writeError(w, &apiError{status: http.StatusInternalServerError, code: CodeInternal,
+					message: fmt.Sprintf("internal error (recovered panic): %v", rec)})
 			}
 		}()
 		if err := h(w, r); err != nil {
@@ -120,8 +154,10 @@ func (s *Server) route(label string, h apiHandler) http.Handler {
 // Bounding the queue wait keeps a saturated server shedding load instead of
 // accumulating an unbounded convoy of goroutines that will all time out
 // anyway. Cache hits never pass through here; repeated queries on an
-// unchanged graph stay O(1) even under a full queue.
-func (s *Server) acquire(r *http.Request) *apiError {
+// unchanged graph stay O(1) even under a full queue. The gate takes a
+// bare context rather than a request because a coalesced flight's leader
+// queues under the shared flight context, not any single waiter's.
+func (s *Server) acquire(ctx context.Context) *apiError {
 	// Fast path: a free slot needs no timer.
 	select {
 	case s.sem <- struct{}{}:
@@ -143,11 +179,13 @@ func (s *Server) acquire(r *http.Request) *apiError {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-expired:
-		return &apiError{http.StatusServiceUnavailable, CodeOverloaded,
-			fmt.Sprintf("server saturated: no solver slot within %v", wait), retry}
-	case <-r.Context().Done():
-		return &apiError{http.StatusServiceUnavailable, CodeOverloaded,
-			"request expired while queued for a solver slot", retry}
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeOverloaded,
+			message:    fmt.Sprintf("server saturated: no solver slot within %v", wait),
+			retryAfter: retry}
+	case <-ctx.Done():
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeOverloaded,
+			message:    "request expired while queued for a solver slot",
+			retryAfter: retry}
 	}
 }
 

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TenantHeader names the request header that selects the tenant for quota
+// accounting. Requests without it share the DefaultTenant bucket.
+const (
+	TenantHeader  = "X-DSD-Tenant"
+	DefaultTenant = "default"
+)
+
+// maxTenants bounds the limiter's per-tenant state (and the per-tenant
+// expvar maps): an attacker spraying random tenant headers must not grow
+// server memory without bound. Beyond the cap, unknown tenants share the
+// overflow bucket — they still get quota enforcement, just collectively.
+const maxTenants = 1024
+
+// QuotaConfig tunes per-tenant admission on the expensive routes (solves,
+// mutations, graph loads). The zero value disables enforcement; per-tenant
+// request counters are recorded either way.
+type QuotaConfig struct {
+	// Rate is the steady-state token refill in requests per second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a tenant may issue
+	// back to back after an idle period. <= 0 with Rate set means
+	// max(1, ceil(Rate)).
+	Burst int
+	// MaxConcurrent caps a tenant's simultaneously in-flight expensive
+	// requests (queued, coalesced-waiting, or solving alike); <= 0 means
+	// uncapped.
+	MaxConcurrent int
+}
+
+// enabled reports whether any enforcement is configured.
+func (q QuotaConfig) enabled() bool { return q.Rate > 0 || q.MaxConcurrent > 0 }
+
+func (q QuotaConfig) withDefaults() QuotaConfig {
+	if q.Rate > 0 && q.Burst <= 0 {
+		q.Burst = int(math.Max(1, math.Ceil(q.Rate)))
+	}
+	return q
+}
+
+// tenantState is one tenant's token bucket plus its concurrency gauge.
+type tenantState struct {
+	tokens float64
+	last   time.Time
+	active int
+}
+
+// tenantLimiter enforces QuotaConfig per tenant. Buckets refill lazily on
+// admission — no background goroutine — and the clock is read through a
+// faultinject probe so the chaos suite can skew or break it: a broken
+// clock fails open (requests admitted, enforcement skipped), and a clock
+// that jumps backwards is clamped rather than minting negative tokens.
+type tenantLimiter struct {
+	cfg QuotaConfig
+	now func() time.Time // test seam
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	// requests/rejects are the per-tenant expvar counters, shared with the
+	// server's Metrics.
+	requests *expvar.Map
+	rejects  *expvar.Map
+}
+
+func newTenantLimiter(cfg QuotaConfig, requests, rejects *expvar.Map) *tenantLimiter {
+	return &tenantLimiter{
+		cfg:      cfg.withDefaults(),
+		now:      time.Now,
+		tenants:  map[string]*tenantState{},
+		requests: requests,
+		rejects:  rejects,
+	}
+}
+
+// tenantOf resolves the request's tenant. Over-long names are truncated so
+// a hostile header cannot bloat the expvar maps with megabyte keys.
+func tenantOf(r *http.Request) string {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return DefaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
+
+// admit charges one request against tenant's quota. It returns a release
+// func (always non-nil) that must be deferred to drop the concurrency
+// gauge, and a structured 429 when the tenant is over its rate or
+// concurrency budget. The Retry-After on rejections is derived from the
+// token deficit and jittered centrally by writeError, so a synchronized
+// client herd retrying a shared 429 spreads out instead of stampeding.
+func (l *tenantLimiter) admit(tenant string) (release func(), aerr *apiError) {
+	l.requests.Add(tenant, 1)
+	if !l.cfg.enabled() {
+		return func() {}, nil
+	}
+	if err := faultinject.Hit(faultinject.SiteQuotaClock); err != nil {
+		// An unreadable clock must degrade to "no quota", never to an
+		// outage: admit without charging.
+		return func() {}, nil
+	}
+	now := l.now()
+
+	l.mu.Lock()
+	st, ok := l.tenants[tenant]
+	if !ok {
+		if len(l.tenants) >= maxTenants {
+			tenant = "overflow"
+			if st = l.tenants[tenant]; st == nil {
+				st = &tenantState{tokens: float64(l.cfg.Burst), last: now}
+				l.tenants[tenant] = st
+			}
+		} else {
+			st = &tenantState{tokens: float64(l.cfg.Burst), last: now}
+			l.tenants[tenant] = st
+		}
+	}
+	if l.cfg.Rate > 0 {
+		if dt := now.Sub(st.last); dt > 0 { // clamp clock-skew backwards jumps
+			st.tokens = math.Min(float64(l.cfg.Burst), st.tokens+dt.Seconds()*l.cfg.Rate)
+		}
+		st.last = now
+		if st.tokens < 1 {
+			retry := int(math.Ceil((1 - st.tokens) / l.cfg.Rate))
+			l.mu.Unlock()
+			l.rejects.Add(tenant, 1)
+			return func() {}, &apiError{status: http.StatusTooManyRequests, code: CodeQuotaExceeded,
+				message:    fmt.Sprintf("tenant %q is over its request rate (%.3g/s, burst %d)", tenant, l.cfg.Rate, l.cfg.Burst),
+				retryAfter: retry}
+		}
+		st.tokens--
+	}
+	if l.cfg.MaxConcurrent > 0 && st.active >= l.cfg.MaxConcurrent {
+		if l.cfg.Rate > 0 {
+			st.tokens++ // the rejected request should not also burn a token
+		}
+		l.mu.Unlock()
+		l.rejects.Add(tenant, 1)
+		return func() {}, &apiError{status: http.StatusTooManyRequests, code: CodeQuotaExceeded,
+			message:    fmt.Sprintf("tenant %q is at its concurrent-request cap (%d)", tenant, l.cfg.MaxConcurrent),
+			retryAfter: 1}
+	}
+	st.active++
+	l.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			st.active--
+			l.mu.Unlock()
+		})
+	}, nil
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// postSolve issues one POST /solve/uds for tenant and returns the status,
+// decoded error body, and Retry-After header.
+func postSolve(t *testing.T, url, tenant string, req SolveRequest) (int, errorBody, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.NewRequest("POST", url+"/solve/uds", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hr.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
+	return resp.StatusCode, eb, resp.Header.Get("Retry-After")
+}
+
+// TestQuotaRateLimit covers the token bucket: a tenant gets its burst, then
+// a structured 429 with a Retry-After derived from the refill rate — and a
+// different tenant's bucket is untouched by the first one's exhaustion.
+func TestQuotaRateLimit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Quota: QuotaConfig{Rate: 0.01, Burst: 2}})
+
+	// Burst of 2: the first two requests pass (the second is a cache hit
+	// but admission is charged before the cache is consulted).
+	for i := 0; i < 2; i++ {
+		if got, eb, _ := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique"}); got != http.StatusOK {
+			t.Fatalf("alice request %d = %d %q, want 200", i, got, eb.Error.Code)
+		}
+	}
+	got, eb, retry := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique"})
+	if got != http.StatusTooManyRequests || eb.Error.Code != CodeQuotaExceeded {
+		t.Fatalf("alice request 3 = %d %q, want 429 %q", got, eb.Error.Code, CodeQuotaExceeded)
+	}
+	if ra, err := strconv.Atoi(retry); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer", retry)
+	}
+
+	// bob's bucket is its own; alice's exhaustion is invisible to it.
+	if got, eb, _ := postSolve(t, ts.URL, "bob", SolveRequest{Graph: "clique"}); got != http.StatusOK {
+		t.Fatalf("bob request = %d %q, want 200", got, eb.Error.Code)
+	}
+
+	if got := mapValue(t, &s.Metrics().QuotaRejectsByTenant, "alice"); got != 1 {
+		t.Fatalf("quota_rejects[alice] = %d, want 1", got)
+	}
+	if got := mapValue(t, &s.Metrics().RequestsByTenant, "alice"); got != 3 {
+		t.Fatalf("requests_by_tenant[alice] = %d, want 3 (rejections count as requests)", got)
+	}
+	if got := mapValue(t, &s.Metrics().QuotaRejectsByTenant, "bob"); got != 0 {
+		t.Fatalf("quota_rejects[bob] = %d, want 0", got)
+	}
+}
+
+// TestQuotaConcurrencyCap covers the per-tenant in-flight cap: with one
+// solve held in flight, the same tenant's next request bounces with a 429
+// while another tenant sails through, and the cap frees on completion.
+func TestQuotaConcurrencyCap(t *testing.T) {
+	// MaxConcurrent 4 keeps the server-wide semaphore out of the way (one
+	// slot is pinned under the gate): the per-tenant cap must be the only
+	// thing rejecting here.
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 4, Quota: QuotaConfig{MaxConcurrent: 1}})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	// A CAS gate, not sync.Once: Once.Do would block bob's later flight
+	// leader behind alice's gated one instead of waving it through.
+	var first atomic.Bool
+	first.Store(true)
+	srv.solveGate = func() {
+		if first.CompareAndSwap(true, false) {
+			close(admitted)
+			<-release
+		}
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		got, _, _ := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique"})
+		done <- got
+	}()
+	<-admitted
+
+	// Distinct workers force a distinct key, so this is a second flight —
+	// the tenant cap, not coalescing, must be what stops it.
+	got, eb, retry := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique", Options: SolveOptions{Workers: 2}})
+	if got != http.StatusTooManyRequests || eb.Error.Code != CodeQuotaExceeded {
+		t.Fatalf("capped request = %d %q, want 429 %q", got, eb.Error.Code, CodeQuotaExceeded)
+	}
+	if retry == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if !strings.Contains(eb.Error.Message, "concurrent") {
+		t.Fatalf("capped message = %q, want the concurrency variant", eb.Error.Message)
+	}
+
+	// A different tenant has its own gauge.
+	if got, eb, _ := postSolve(t, ts.URL, "bob", SolveRequest{Graph: "clique", Options: SolveOptions{Workers: 3}}); got != http.StatusOK {
+		t.Fatalf("bob request = %d %q, want 200", got, eb.Error.Code)
+	}
+
+	close(release)
+	if got := <-done; got != http.StatusOK {
+		t.Fatalf("held request = %d, want 200", got)
+	}
+	// The release dropped the gauge: alice solves again.
+	if got, eb, _ := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique", Options: SolveOptions{Workers: 4}}); got != http.StatusOK {
+		t.Fatalf("post-release request = %d %q, want 200", got, eb.Error.Code)
+	}
+}
+
+// TestQuotaClockFaultFailsOpen pins the failure policy: an erroring clock
+// probe (SiteQuotaClock) degrades quota enforcement to admit-everything —
+// never to an outage — and enforcement resumes when the fault clears.
+func TestQuotaClockFaultFailsOpen(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	l := newTenantLimiter(QuotaConfig{Rate: 0.01, Burst: 1},
+		new(expvar.Map).Init(), new(expvar.Map).Init())
+
+	faultinject.Arm(faultinject.SiteQuotaClock, faultinject.Fault{
+		Mode:  faultinject.ModeError,
+		Every: 1,
+	})
+	for i := 0; i < 5; i++ {
+		release, aerr := l.admit("alice")
+		if aerr != nil {
+			t.Fatalf("admit %d under clock fault = %v, want fail-open", i, aerr)
+		}
+		release()
+	}
+
+	faultinject.Reset()
+	release, aerr := l.admit("alice")
+	if aerr != nil {
+		t.Fatalf("first post-fault admit = %v, want ok (fail-open must not have charged tokens)", aerr)
+	}
+	release()
+	if _, aerr := l.admit("alice"); aerr == nil {
+		t.Fatal("second post-fault admit passed; enforcement did not resume")
+	} else if aerr.code != CodeQuotaExceeded {
+		t.Fatalf("second post-fault admit code = %q, want %q", aerr.code, CodeQuotaExceeded)
+	}
+}
+
+// TestQuotaClockSkewClamped pins the backwards-jump clamp: a clock that
+// runs backwards mints no tokens (and no panic) — the bucket just stays
+// where it was.
+func TestQuotaClockSkewClamped(t *testing.T) {
+	l := newTenantLimiter(QuotaConfig{Rate: 1, Burst: 1},
+		new(expvar.Map).Init(), new(expvar.Map).Init())
+	clock := time.Now()
+	l.now = func() time.Time { return clock }
+
+	release, aerr := l.admit("alice")
+	if aerr != nil {
+		t.Fatalf("first admit = %v, want ok", aerr)
+	}
+	release()
+
+	// The clock jumps an hour backwards: no refill, not a negative one.
+	clock = clock.Add(-time.Hour)
+	if _, aerr := l.admit("alice"); aerr == nil {
+		t.Fatal("admit after backwards jump passed; the empty bucket should still reject")
+	}
+
+	// Forward progress refills normally from the original mark.
+	clock = clock.Add(time.Hour + 2*time.Second)
+	release, aerr = l.admit("alice")
+	if aerr != nil {
+		t.Fatalf("admit after refill = %v, want ok", aerr)
+	}
+	release()
+}
+
+// TestQuotaTenantResolution covers tenantOf: missing header maps to the
+// default bucket, hostile over-long names are truncated.
+func TestQuotaTenantResolution(t *testing.T) {
+	r, _ := http.NewRequest("POST", "/solve/uds", nil)
+	if got := tenantOf(r); got != DefaultTenant {
+		t.Fatalf("tenantOf(no header) = %q, want %q", got, DefaultTenant)
+	}
+	r.Header.Set(TenantHeader, strings.Repeat("x", 500))
+	if got := tenantOf(r); len(got) != 64 {
+		t.Fatalf("tenantOf(500-char header) has len %d, want 64", len(got))
+	}
+}
+
+// TestQuotaDisabledRecordsOnly confirms the zero config enforces nothing
+// but still attributes request counts per tenant.
+func TestQuotaDisabledRecordsOnly(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		if got, eb, _ := postSolve(t, ts.URL, "alice", SolveRequest{Graph: "clique"}); got != http.StatusOK {
+			t.Fatalf("request %d = %d %q, want 200", i, got, eb.Error.Code)
+		}
+	}
+	if got := mapValue(t, &s.Metrics().RequestsByTenant, "alice"); got != 3 {
+		t.Fatalf("requests_by_tenant[alice] = %d, want 3", got)
+	}
+	if got := mapValue(t, &s.Metrics().QuotaRejectsByTenant, "alice"); got != 0 {
+		t.Fatalf("quota_rejects[alice] = %d, want 0", got)
+	}
+}

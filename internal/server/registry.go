@@ -134,6 +134,20 @@ func (r *Registry) Remove(name string) error {
 	return nil
 }
 
+// BumpVersionFloor raises name's version counter to at least v without
+// publishing anything. Warm restart calls it before re-loading snapshotted
+// graphs so the restored entries publish at versions strictly above
+// everything the previous process ever served — a client holding a
+// pre-restart version-keyed result can never collide with a post-restart
+// graph state.
+func (r *Registry) BumpVersionFloor(name string, v int64) {
+	r.mu.Lock()
+	if r.versions[name] < v {
+		r.versions[name] = v
+	}
+	r.mu.Unlock()
+}
+
 // LoadFile loads a graph file (text edge list or the compact binary format,
 // either gzipped — the same sniffing as the CLIs) and registers it under
 // name. With replace false an existing name is an ErrGraphExists error;

@@ -65,6 +65,17 @@ type Config struct {
 	// triggers a compaction (snapshot rebase + full core recompute).
 	// <= 0 means the live package default (4096).
 	LiveCompactEvery int
+	// DegradePolicy selects the deadline-aware degradation behavior:
+	// DegradeOff (the default, run exactly what was asked) or DegradeAuto
+	// (downgrade exact solves predicted to miss their deadline to a
+	// registered approximation, or reject up front with 503
+	// deadline_infeasible when nothing fits).
+	DegradePolicy string
+	// Quota is the per-tenant admission policy for the expensive routes
+	// (solves, mutations, graph loads), keyed on the X-DSD-Tenant header.
+	// The zero value enforces nothing; per-tenant request counters are
+	// recorded regardless.
+	Quota QuotaConfig
 }
 
 // Server is the densest-subgraph query service: a graph registry, a result
@@ -80,6 +91,8 @@ type Server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	ready   atomic.Bool
+	flights *flightGroup
+	quota   *tenantLimiter
 
 	// solveGate, when set (tests only), runs inside the solve handlers
 	// after admission and before the solver call.
@@ -110,6 +123,8 @@ func New(cfg Config) *Server {
 		metrics: m,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
+		flights: newFlightGroup(func() { m.Panics.Add(1) }),
+		quota:   newTenantLimiter(cfg.Quota, &m.RequestsByTenant, &m.QuotaRejectsByTenant),
 	}
 	// Live mutation publishes advance the graph version; the cache drops
 	// the displaced entries eagerly rather than waiting for LRU pressure.

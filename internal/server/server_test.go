@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -328,7 +329,16 @@ func TestSolveDeadlineExceeded(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	// Hold each admitted solve until its 1ms deadline is safely gone, so the
 	// solver's first cancellation check fires regardless of machine speed.
-	s.solveGate = func() { time.Sleep(20 * time.Millisecond) }
+	// The gate toggles off via an atomic rather than reassigning s.solveGate:
+	// abandoned flights keep detached leaders running past their waiters'
+	// 504s, and those leaders still read the gate field.
+	var gateOn atomic.Bool
+	gateOn.Store(true)
+	s.solveGate = func() {
+		if gateOn.Load() {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 
 	var eb errorBody
 	req := SolveRequest{Graph: "clique", Algo: "exact", Options: SolveOptions{TimeoutMs: 1}}
@@ -349,9 +359,9 @@ func TestSolveDeadlineExceeded(t *testing.T) {
 		t.Fatalf("dds error code = %q, want %q", eb.Error.Code, CodeDeadlineExceeded)
 	}
 
-	// Failed solves are not cached: with the gate removed the same request
+	// Failed solves are not cached: with the gate disabled the same request
 	// must run for real and succeed.
-	s.solveGate = nil
+	gateOn.Store(false)
 	var ok UDSResponse
 	req.Options.TimeoutMs = 0
 	if got := doJSON(t, "POST", ts.URL+"/solve/uds", req, &ok); got != http.StatusOK {
