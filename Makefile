@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
+.PHONY: all build vet lint lint-json test race chaos cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, the live-mutation subsystem, and
@@ -28,10 +28,18 @@ vet:
 
 # The project-specific static-analysis suite: proves the parallel
 # runtime's invariants (atomic captured writes, context polling, probe
-# registry, trace nil-safety, atomic/plain mixing). See DESIGN.md's
-# "Static analysis" section and `go run ./cmd/dsdlint -list`.
+# registry, trace nil-safety, atomic/plain mixing) and the serving
+# tier's concurrency contracts (lock ordering, error-code registry,
+# goroutine lifecycle, expvar metric names). See DESIGN.md's "Static
+# analysis" section and `go run ./cmd/dsdlint -list`.
 lint:
 	$(GO) run ./cmd/dsdlint ./...
+
+# The same suite as a machine-readable report; CI turns the findings
+# into GitHub annotations and uploads the report as an artifact. The
+# target still fails (exit 1) on any finding, after writing the report.
+lint-json:
+	$(GO) run ./cmd/dsdlint -json ./... > dsdlint-report.json
 
 test: vet
 	$(GO) test ./...
@@ -117,4 +125,4 @@ serve:
 	$(GO) run ./cmd/dsdserver -addr :8080 -load pt=data/PT.txt
 
 clean:
-	rm -rf data BENCH_*.json
+	rm -rf data BENCH_*.json dsdlint-report.json

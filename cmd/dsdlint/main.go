@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	dsdlint [-list] [-run name,name] [packages]
+//	dsdlint [-list] [-run name,name] [-json] [packages]
 //
 // With no package patterns it analyzes ./... relative to the enclosing
 // module. Diagnostics print as file:line:col: analyzer: message and any
 // finding makes the process exit 1; load or type-check failures exit 2.
+// With -json the findings are emitted as a single machine-readable JSON
+// report on stdout instead (the exit codes are unchanged), which CI uses
+// to turn violations into annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("C", "", "run as if started in this directory (default: the enclosing module root)")
+	asJSON := fs.Bool("json", false, "emit findings as a machine-readable JSON report on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,14 +89,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsdlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, shortenPath(root, d))
+	if *asJSON {
+		if err := writeJSON(stdout, root, analyzers, pkgs, diags); err != nil {
+			fmt.Fprintf(stderr, "dsdlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, shortenPath(root, d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "dsdlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one diagnostic in the -json report. File is
+// module-relative, matching the human-readable output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output: which analyzers ran over how many
+// packages, and every finding in the driver's sorted order. Findings is
+// always present (an empty array on a clean run) so consumers can index
+// it unconditionally.
+type jsonReport struct {
+	Analyzers []string      `json:"analyzers"`
+	Packages  int           `json:"packages"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+func writeJSON(w io.Writer, root string, analyzers []*analysis.Analyzer, pkgs []*analysis.Package, diags []analysis.Diagnostic) error {
+	report := jsonReport{
+		Packages: len(pkgs),
+		Findings: []jsonFinding{},
+	}
+	for _, a := range analyzers {
+		report.Analyzers = append(report.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

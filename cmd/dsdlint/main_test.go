@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/lockorder"
 )
 
 // TestRepoIsClean is the suite's own acceptance test: every analyzer over
@@ -20,14 +23,17 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestListAnalyzers checks the suite is wired: all five invariants are
+// TestListAnalyzers checks the suite is wired: all nine invariants are
 // registered with the driver.
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"sharedwrite", "ctxpoll", "probename", "tracenil", "atomicmix"} {
+	for _, name := range []string{
+		"sharedwrite", "ctxpoll", "probename", "tracenil", "atomicmix",
+		"lockorder", "errcode", "gorolife", "expvarname",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output is missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -61,19 +67,25 @@ require repro v0.0.0
 replace repro => `+root+`
 `)
 	// Internal packages are invisible across the module boundary, so the
-	// scratch module seeds the two violations expressible through the
-	// public API and plain stdlib: a dropped Options.Ctx (ctxpoll) and a
-	// mixed atomic/plain counter (atomicmix). The internal-facing
-	// analyzers get their seeded violations from the golden-file tests.
+	// scratch module seeds the violations expressible through the public
+	// API and plain stdlib: a dropped Options.Ctx and an ignored context
+	// parameter (ctxpoll), a mixed atomic/plain counter (atomicmix), and
+	// an expvar registration through a raw string literal (expvarname).
+	// The internal-facing analyzers get their seeded violations from the
+	// golden-file tests and TestSeededLockInversion below.
 	writeFile(t, dir, "bad.go", `package scratch
 
 import (
+	"context"
+	"expvar"
 	"sync/atomic"
 
 	dsd "repro"
 )
 
 var hits int64
+
+var scratchHits = expvar.NewInt("scratch_hits")
 
 func Record() {
 	atomic.AddInt64(&hits, 1)
@@ -86,6 +98,10 @@ func Snapshot() int64 {
 func Solve(g *dsd.Graph, opts dsd.Options) (dsd.Result, error) {
 	return dsd.SolveUDS(g, "", dsd.Options{Workers: opts.Workers})
 }
+
+func Ignore(ctx context.Context, v int) int {
+	return v
+}
 `)
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
@@ -97,10 +113,138 @@ func Solve(g *dsd.Graph, opts dsd.Options) (dsd.Result, error) {
 	for _, wantFrag := range []string{
 		"atomicmix: non-atomic access to variable hits",
 		"ctxpoll: exported Solve takes dsd.Options",
+		"ctxpoll: exported Ignore takes a context.Context",
+		`expvarname: expvar.NewInt name must be a registered Metric* constant from a metric registry package, not the string literal "scratch_hits"`,
 	} {
 		if !strings.Contains(out, wantFrag) {
 			t.Errorf("diagnostics missing %q:\n%s", wantFrag, out)
 		}
+	}
+}
+
+// TestSeededLockInversion proves the lockorder analyzer end to end
+// through the driver: a scratch module with its own two-level hierarchy
+// (configured in-process, since a scratch module cannot reference this
+// module's internal types) must be rejected for a cache -> registry
+// inversion while the compliant registry -> cache path passes silently.
+func TestSeededLockInversion(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", `module scratch
+
+go 1.22
+`)
+	writeFile(t, dir, "locks.go", `package scratch
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Invalidate takes the registry lock while holding the cache lock: the
+// inversion the documented hierarchy forbids.
+func Invalidate(r *Reg, c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Publish is the compliant direction: registry strictly before cache.
+func Publish(r *Reg, c *Cache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+`)
+	oldHierarchy, oldTargets := lockorder.Hierarchy, lockorder.TargetPkgs
+	lockorder.Hierarchy = []lockorder.Level{
+		{Class: lockorder.LockClass{Pkg: "scratch", Type: "Reg", Field: "mu"}, Name: "registry"},
+		{Class: lockorder.LockClass{Pkg: "scratch", Type: "Cache", Field: "mu"}, Name: "cache"},
+	}
+	lockorder.TargetPkgs = []string{"scratch"}
+	t.Cleanup(func() { lockorder.Hierarchy, lockorder.TargetPkgs = oldHierarchy, oldTargets })
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-run", "lockorder", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dsdlint on the seeded inversion exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	want := "Invalidate acquires registry while holding cache: documented lock order is registry -> cache"
+	if !strings.Contains(out, want) {
+		t.Errorf("diagnostics missing %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "Publish") {
+		t.Errorf("compliant registry -> cache path was flagged:\n%s", out)
+	}
+}
+
+// TestJSONReport checks the -json machine-readable output end to end on
+// a scratch module with one known violation: the report must parse, name
+// every analyzer, and carry the finding with a module-relative path.
+func TestJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", `module scratch
+
+go 1.22
+`)
+	writeFile(t, dir, "bad.go", `package scratch
+
+import "context"
+
+func Drop(ctx context.Context, v int) int {
+	return v
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dsdlint -json on a seeded violation exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	var report struct {
+		Analyzers []string `json:"analyzers"`
+		Packages  int      `json:"packages"`
+		Findings  []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(report.Analyzers) != 9 {
+		t.Errorf("report names %d analyzers, want 9: %v", len(report.Analyzers), report.Analyzers)
+	}
+	if report.Packages < 1 {
+		t.Errorf("report covers %d packages, want at least 1", report.Packages)
+	}
+	if len(report.Findings) != 1 {
+		t.Fatalf("report has %d findings, want 1:\n%s", len(report.Findings), stdout.String())
+	}
+	f := report.Findings[0]
+	if f.File != "bad.go" {
+		t.Errorf("finding file = %q, want module-relative %q", f.File, "bad.go")
+	}
+	if f.Line <= 0 || f.Col <= 0 {
+		t.Errorf("finding position %d:%d is not positive", f.Line, f.Col)
+	}
+	if f.Analyzer != "ctxpoll" || !strings.Contains(f.Message, "exported Drop takes a context.Context") {
+		t.Errorf("unexpected finding %q: %s", f.Analyzer, f.Message)
 	}
 }
 

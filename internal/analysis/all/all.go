@@ -7,6 +7,10 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/errcode"
+	"repro/internal/analysis/expvarname"
+	"repro/internal/analysis/gorolife"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/probename"
 	"repro/internal/analysis/sharedwrite"
 	"repro/internal/analysis/tracenil"
@@ -17,6 +21,10 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicmix.Analyzer,
 		ctxpoll.Analyzer,
+		errcode.Analyzer,
+		expvarname.Analyzer,
+		gorolife.Analyzer,
+		lockorder.Analyzer,
 		probename.Analyzer,
 		sharedwrite.Analyzer,
 		tracenil.Analyzer,

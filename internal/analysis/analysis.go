@@ -9,7 +9,10 @@ import (
 )
 
 // Analyzer is one named invariant check. Run inspects a single
-// type-checked package and reports findings through the Pass.
+// type-checked package and reports findings through the Pass; analyzers
+// whose invariant spans packages (a lock acquired in internal/server,
+// released by a callee in internal/live) set RunModule instead and see
+// the whole loaded package set at once.
 type Analyzer struct {
 	// Name is the short identifier used in diagnostics and -run filters.
 	Name string
@@ -20,6 +23,11 @@ type Analyzer struct {
 	// (a bug or unusable input), not a finding; findings go through
 	// Pass.Reportf.
 	Run func(*Pass) error
+	// RunModule, when non-nil, is invoked once with every loaded package
+	// instead of Run being invoked per package. Use it for analyses that
+	// need call-graph or summary information across package boundaries.
+	// Exactly one of Run and RunModule must be set.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one package: the parsed syntax, the
@@ -57,14 +65,47 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one module-wide analyzer's view of every loaded
+// package. Packages loaded together share one token.FileSet, but
+// positions are still resolved through the owning package so a pass
+// mixing sources from different loads (as the test harness does) reports
+// correct locations.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through pkg's file set.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run applies every analyzer to every package and returns the combined
 // findings sorted by file, line and column. An analyzer error aborts the
 // run: it means the suite itself is broken, which must not be mistaken
 // for a clean bill of health.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mpass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags}
+		if err := a.RunModule(mpass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,

@@ -145,6 +145,19 @@ func loadSrcPackage(fset *token.FileSet, dir, path string, imp types.Importer) (
 // diagnostics and the `// want` expectations in its sources.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
+	RunPkgs(t, a, pkgPath)
+}
+
+// RunPkgs loads several golden packages into one shared file set and
+// applies the analyzer to the whole set — the harness entry point for
+// module-wide analyzers (Analyzer.RunModule) whose invariant spans
+// package boundaries, such as lockorder's cross-package acquisition
+// summaries. Packages are loaded in argument order and registered with
+// the importer as they land, so a later golden package may import an
+// earlier one and see the identical type objects. `// want`
+// expectations are collected from every package's sources.
+func RunPkgs(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
 	root := moduleRoot(t)
 	srcRoot := filepath.Join(root, "internal", "analysis", "testdata", "src")
 	fset := token.NewFileSet()
@@ -155,16 +168,23 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 		cache:    map[string]*types.Package{},
 		loadErr:  map[string]error{},
 	}
-	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
-	pkg, err := loadSrcPackage(fset, dir, pkgPath, imp)
-	if err != nil {
-		t.Fatalf("loading golden package %s: %v", pkgPath, err)
+	var pkgs []*analysis.Package
+	var files []*ast.File
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+		pkg, err := loadSrcPackage(fset, dir, pkgPath, imp)
+		if err != nil {
+			t.Fatalf("loading golden package %s: %v", pkgPath, err)
+		}
+		imp.cache[pkgPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+		files = append(files, pkg.Files...)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		t.Fatalf("running %s on %s: %v", a.Name, strings.Join(pkgPaths, ","), err)
 	}
-	check(t, fset, pkg.Files, diags)
+	check(t, fset, files, diags)
 }
 
 // want is one expectation: a diagnostic matching rx on file:line.

@@ -26,11 +26,20 @@ const (
 	optionsName = "Options"
 )
 
+// ServeTierPkgs are the packages in which every dsd.Options composite
+// literal must set the Ctx field explicitly: the serving tier always has
+// a request context in hand (the live writer loop's enqueue path and the
+// degradation ladder's solver dispatch both thread one), so an Options
+// literal without Ctx there is a dispatch that cannot be canceled.
+// Overridable for the golden tests.
+var ServeTierPkgs = []string{"repro/internal/server"}
+
 // Analyzer is the ctxpoll pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxpoll",
-	Doc: "exported entry points taking dsd.Options must read Options.Ctx or " +
-		"forward the options value — dropping it disables cancellation",
+	Doc: "exported entry points taking dsd.Options (or a context.Context) must " +
+		"use or forward it, and serving-tier dsd.Options literals must set Ctx — " +
+		"anything else silently disables cancellation",
 	Run: run,
 }
 
@@ -48,9 +57,118 @@ func run(pass *analysis.Pass) error {
 						fn.Name.Name, param.Name(), param.Name())
 				}
 			}
+			for _, param := range ctxParams(pass, fn) {
+				if !usesParam(pass, fn.Body, param) {
+					pass.Reportf(fn.Name.Pos(),
+						"exported %s takes a context.Context (%s) but never uses or forwards it: cancellation is silently dropped",
+						fn.Name.Name, param.Name())
+				}
+			}
+		}
+	}
+	if inServeTier(pass.Pkg.Path()) {
+		for _, file := range pass.Files {
+			checkOptionsLiterals(pass, file)
 		}
 	}
 	return nil
+}
+
+func inServeTier(path string) bool {
+	for _, p := range ServeTierPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParams returns the named parameters of fn whose type is
+// context.Context.
+func ctxParams(pass *analysis.Pass, fn *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok || obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// usesParam reports whether body references param at all — any read,
+// method call, or forwarding keeps the context flowing; a parameter that
+// never appears is dead weight that silently eats the caller's deadline.
+func usesParam(pass *analysis.Pass, body *ast.BlockStmt, param *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == param {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkOptionsLiterals flags serving-tier dsd.Options composite literals
+// that do not set Ctx. A keyed literal must carry the Ctx key; a
+// positional literal necessarily sets every field and passes.
+func checkOptionsLiterals(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isOptionsType(pass.Info.TypeOf(lit)) {
+			return true
+		}
+		if len(lit.Elts) > 0 {
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+				return true
+			}
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Ctx" {
+					return true
+				}
+			}
+		}
+		pass.Reportf(lit.Pos(),
+			"dsd.Options literal in the serving tier must set Ctx: a solve dispatched without a context cannot be canceled or degraded on deadline")
+		return true
+	})
+}
+
+// isOptionsType reports whether t (possibly behind a pointer) is
+// dsd.Options.
+func isOptionsType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == optionsPkg && tn.Name() == optionsName
 }
 
 // optionsParams returns the named parameters of fn whose type is

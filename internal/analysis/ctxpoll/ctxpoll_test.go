@@ -8,5 +8,10 @@ import (
 )
 
 func TestGolden(t *testing.T) {
+	// List the golden package as a serving-tier package so the
+	// Options-literal rule is exercised alongside the parameter rules.
+	old := ctxpoll.ServeTierPkgs
+	ctxpoll.ServeTierPkgs = append([]string{"ctxpoll"}, old...)
+	t.Cleanup(func() { ctxpoll.ServeTierPkgs = old })
 	analysistest.Run(t, ctxpoll.Analyzer, "ctxpoll")
 }

@@ -1,0 +1,336 @@
+// Package errcode verifies that every structured API error names a
+// registered error code.
+//
+// The serving tier's wire contract is {"error": {"code": ...}}: clients
+// switch on the code string, dashboards alert on per-code counters, and
+// both break silently if a handler invents an ad-hoc string ("deadline"
+// next to "deadline_exceeded"). The registered codes are the Code*
+// constants in internal/server/codes.go with the Codes() registry; this
+// analyzer proves, mirroring probename:
+//
+//   - every apiError composite literal sets the code field, and sets it
+//     to one of the registered Code* constants (not a string literal,
+//     not a constant from elsewhere);
+//   - every direct assignment to an apiError's code field uses a Code*
+//     constant too;
+//   - in the registry package itself, the Code* constants are string-
+//     typed, snake_case, pairwise distinct by value, and the Codes()
+//     function lists each exactly once (nothing unregistered, nothing
+//     stale, nothing doubled).
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Configuration, overridable by golden tests.
+var (
+	// ServerPkg is the package owning both the error type and the code
+	// registry.
+	ServerPkg = "repro/internal/server"
+	// ErrType is the structured error type whose code field is policed.
+	ErrType = "apiError"
+	// CodeField is the policed field's name.
+	CodeField = "code"
+	// CodePrefix marks the registered code constants.
+	CodePrefix = "Code"
+	// RegistryFunc is the function returning every registered code.
+	RegistryFunc = "Codes"
+)
+
+// Analyzer is the errcode pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "structured API errors must name a registered Code* constant from the " +
+		"central registry; the registry itself must be duplicate-free and complete",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkSites(pass, file)
+	}
+	if pass.Pkg.Path() == ServerPkg {
+		checkRegistry(pass)
+	}
+	return nil
+}
+
+// isErrType reports whether t (possibly behind a pointer) is the
+// structured error type.
+func isErrType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == ServerPkg && obj.Name() == ErrType
+}
+
+// isRegisteredConst reports whether e resolves to a Code* constant
+// declared in the registry package.
+func isRegisteredConst(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(x.Sel)
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return c.Pkg().Path() == ServerPkg && strings.HasPrefix(c.Name(), CodePrefix)
+}
+
+// checkSites walks one file for apiError literals and code-field writes.
+func checkSites(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isErrType(pass.Info.TypeOf(n)) {
+				return true
+			}
+			checkLiteral(pass, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != CodeField || i >= len(n.Rhs) {
+					continue
+				}
+				if !isErrType(pass.Info.TypeOf(sel.X)) {
+					continue
+				}
+				if !isRegisteredConst(pass.Info, n.Rhs[i]) && !isCodeCopy(pass.Info, n.Rhs[i]) {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"assignment to %s.%s must use a registered %s* constant from %s",
+						ErrType, CodeField, CodePrefix, ServerPkg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLiteral polices one apiError composite literal.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		pass.Reportf(lit.Pos(),
+			"%s literal without a %s: every structured error must name a registered %s* constant",
+			ErrType, CodeField, CodePrefix)
+		return
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		// Positional literal: the code field is whichever element sits at
+		// the field's declared index.
+		st, ok := structOf(pass.Info.TypeOf(lit))
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+			if st.Field(i).Name() == CodeField {
+				checkCodeValue(pass, lit.Elts[i])
+				return
+			}
+		}
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == CodeField {
+			checkCodeValue(pass, kv.Value)
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"%s literal without a %s: every structured error must name a registered %s* constant",
+		ErrType, CodeField, CodePrefix)
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func checkCodeValue(pass *analysis.Pass, v ast.Expr) {
+	if isRegisteredConst(pass.Info, v) || isCodeCopy(pass.Info, v) {
+		return
+	}
+	pass.Reportf(v.Pos(),
+		"%s %s must be a registered %s* constant from %s, not %s",
+		ErrType, CodeField, CodePrefix, ServerPkg, describe(pass.Info, v))
+}
+
+// isCodeCopy accepts forwarding an existing error's code — `e.code`
+// where e is itself an apiError — since the value already passed this
+// check where it was born.
+func isCodeCopy(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != CodeField {
+		return false
+	}
+	return isErrType(info.TypeOf(sel.X))
+}
+
+func describe(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return "the string literal " + tv.Value.String()
+	}
+	return "an arbitrary expression"
+}
+
+// checkRegistry mirrors probename's registry checks for the Code*
+// constants and the Codes() function in the registry package.
+func checkRegistry(pass *analysis.Pass) {
+	type codeConst struct {
+		obj *types.Const
+		pos ast.Node
+	}
+	var consts []codeConst
+	byValue := map[string]*types.Const{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(c.Name(), CodePrefix) || !c.Exported() {
+						continue
+					}
+					if c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !isSnakeCase(val) {
+						pass.Reportf(name.Pos(),
+							"error code %s = %q is not snake_case", c.Name(), val)
+					}
+					if prev, dup := byValue[val]; dup {
+						pass.Reportf(name.Pos(),
+							"error code %s duplicates the value %q of %s", c.Name(), val, prev.Name())
+					} else {
+						byValue[val] = c
+					}
+					consts = append(consts, codeConst{obj: c, pos: name})
+				}
+			}
+		}
+	}
+
+	listed := registryEntries(pass)
+	if listed == nil {
+		if len(consts) > 0 {
+			pass.Reportf(pass.Files[0].Pos(),
+				"package declares %s* constants but no %s() registry function", CodePrefix, RegistryFunc)
+		}
+		return
+	}
+	seen := map[types.Object]ast.Expr{}
+	for _, entry := range listed {
+		obj := constObjOf(pass.Info, entry)
+		if obj == nil || !strings.HasPrefix(obj.Name(), CodePrefix) {
+			pass.Reportf(entry.Pos(),
+				"%s() entry is not a %s* constant", RegistryFunc, CodePrefix)
+			continue
+		}
+		if _, dup := seen[obj]; dup {
+			pass.Reportf(entry.Pos(), "%s listed twice in %s()", obj.Name(), RegistryFunc)
+			continue
+		}
+		seen[obj] = entry
+	}
+	for _, c := range consts {
+		if _, ok := seen[c.obj]; !ok {
+			pass.Reportf(c.pos.Pos(),
+				"%s is not listed in the %s() registry", c.obj.Name(), RegistryFunc)
+		}
+	}
+}
+
+// registryEntries returns the element expressions of the registry
+// function's returned slice literal, or nil when the function is absent.
+func registryEntries(pass *analysis.Pass) []ast.Expr {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != RegistryFunc || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			var entries []ast.Expr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					entries = append(entries, lit.Elts...)
+					return false
+				}
+				return true
+			})
+			return entries
+		}
+	}
+	return nil
+}
+
+func constObjOf(info *types.Info, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(x.Sel)
+	default:
+		return nil
+	}
+	c, _ := obj.(*types.Const)
+	return c
+}
+
+func isSnakeCase(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	prevUnderscore := false
+	for _, r := range s {
+		switch {
+		case r == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			prevUnderscore = false
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}

@@ -1,0 +1,14 @@
+package errcode
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	old := ServerPkg
+	ServerPkg = "errcode"
+	t.Cleanup(func() { ServerPkg = old })
+	analysistest.Run(t, Analyzer, "errcode")
+}

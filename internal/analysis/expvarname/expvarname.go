@@ -1,0 +1,245 @@
+// Package expvarname keeps the expvar metric surface typo-proof: every
+// metric name is a declared constant, snake_case, and registered.
+//
+// Dashboards and alerts key on expvar names; a misspelled literal at a
+// registration site silently forks a series ("cache_hit" next to
+// "cache_hits") and the dashboard loses data without any error anywhere.
+// The names therefore live as Metric* constants in the registry packages
+// (internal/server for the serving tier, internal/live for the
+// mutation/compaction series) with a MetricNames() registry each. The
+// analyzer proves:
+//
+//   - every expvar registration call (expvar.Publish, expvar.NewInt,
+//     NewFloat, NewMap, NewString) anywhere in the module names its
+//     metric through a registered Metric* constant, never a literal;
+//   - in each registry package, the Metric* constants are snake_case
+//     and pairwise distinct by value, and MetricNames() lists each
+//     exactly once (a constant from a sibling registry package is a
+//     valid list entry, but never substitutes for a missing local one).
+package expvarname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Configuration, overridable by golden tests.
+var (
+	// RegistryPkgs own Metric* constants and a MetricNames() registry.
+	RegistryPkgs = []string{
+		"repro/internal/server",
+		"repro/internal/live",
+	}
+	// Prefix marks the registered name constants.
+	Prefix = "Metric"
+	// RegistryFunc is the per-package registry function.
+	RegistryFunc = "MetricNames"
+)
+
+// registrars are the expvar calls that bind a metric name.
+var registrars = map[string]bool{
+	"Publish":   true,
+	"NewInt":    true,
+	"NewFloat":  true,
+	"NewMap":    true,
+	"NewString": true,
+}
+
+// Analyzer is the expvarname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "expvarname",
+	Doc: "expvar metric names must be registered snake_case Metric* constants — " +
+		"a literal at a registration site can silently fork a dashboard series",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkRegistrations(pass, file)
+	}
+	if isRegistryPkg(pass.Pkg.Path()) {
+		checkRegistry(pass)
+	}
+	return nil
+}
+
+func isRegistryPkg(path string) bool {
+	for _, p := range RegistryPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRegistrations polices every expvar registration call in file.
+func checkRegistrations(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		obj := analysis.CalleeObject(pass.Info, call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "expvar" || !registrars[obj.Name()] {
+			return true
+		}
+		if c := metricConstOf(pass.Info, call.Args[0]); c == nil {
+			pass.Reportf(call.Args[0].Pos(),
+				"expvar.%s name must be a registered %s* constant from a metric registry package, not %s",
+				obj.Name(), Prefix, describe(pass.Info, call.Args[0]))
+		}
+		return true
+	})
+}
+
+// metricConstOf resolves e to a Metric* constant declared in one of the
+// registry packages, or nil.
+func metricConstOf(info *types.Info, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(x.Sel)
+	default:
+		return nil
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return nil
+	}
+	if !isRegistryPkg(c.Pkg().Path()) || !strings.HasPrefix(c.Name(), Prefix) {
+		return nil
+	}
+	return c
+}
+
+func describe(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return "the string literal " + tv.Value.String()
+	}
+	return "an arbitrary expression"
+}
+
+// checkRegistry polices the Metric* constants and MetricNames() of one
+// registry package.
+func checkRegistry(pass *analysis.Pass) {
+	type nameConst struct {
+		obj *types.Const
+		pos ast.Node
+	}
+	var consts []nameConst
+	byValue := map[string]*types.Const{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(c.Name(), Prefix) || !c.Exported() {
+						continue
+					}
+					if c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !isSnakeCase(val) {
+						pass.Reportf(name.Pos(),
+							"metric name %s = %q is not snake_case", c.Name(), val)
+					}
+					if prev, dup := byValue[val]; dup {
+						pass.Reportf(name.Pos(),
+							"metric name %s duplicates the value %q of %s", c.Name(), val, prev.Name())
+					} else {
+						byValue[val] = c
+					}
+					consts = append(consts, nameConst{obj: c, pos: name})
+				}
+			}
+		}
+	}
+
+	listed := registryEntries(pass)
+	if listed == nil {
+		if len(consts) > 0 {
+			pass.Reportf(pass.Files[0].Pos(),
+				"package declares %s* constants but no %s() registry function", Prefix, RegistryFunc)
+		}
+		return
+	}
+	seen := map[types.Object]bool{}
+	for _, entry := range listed {
+		c := metricConstOf(pass.Info, entry)
+		if c == nil {
+			pass.Reportf(entry.Pos(),
+				"%s() entry is not a registered %s* constant", RegistryFunc, Prefix)
+			continue
+		}
+		if seen[c] {
+			pass.Reportf(entry.Pos(), "%s listed twice in %s()", c.Name(), RegistryFunc)
+			continue
+		}
+		seen[c] = true
+	}
+	for _, c := range consts {
+		if !seen[c.obj] {
+			pass.Reportf(c.pos.Pos(),
+				"%s is not listed in the %s() registry", c.obj.Name(), RegistryFunc)
+		}
+	}
+}
+
+// registryEntries returns the element expressions of the registry
+// function's returned slice literal, or nil when the function is absent.
+func registryEntries(pass *analysis.Pass) []ast.Expr {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != RegistryFunc || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			var entries []ast.Expr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					entries = append(entries, lit.Elts...)
+					return false
+				}
+				return true
+			})
+			return entries
+		}
+	}
+	return nil
+}
+
+func isSnakeCase(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	prevUnderscore := false
+	for _, r := range s {
+		switch {
+		case r == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			prevUnderscore = false
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}

@@ -1,0 +1,14 @@
+package expvarname
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	old := RegistryPkgs
+	RegistryPkgs = []string{"expvarname"}
+	t.Cleanup(func() { RegistryPkgs = old })
+	analysistest.Run(t, Analyzer, "expvarname")
+}

@@ -1,0 +1,296 @@
+// Package gorolife proves goroutine lifecycle discipline in the
+// concurrent packages: every `go` statement must start a goroutine that
+// (a) observes some cancellation signal and (b) announces its own
+// completion, so no goroutine can outlive shutdown unnoticed.
+//
+// "Observes cancellation" is any of, possibly through calls to other
+// functions in the module:
+//
+//   - receiving from (or ranging over, or selecting on) a channel —
+//     stop channels and closed work queues both end as channel receives;
+//   - calling Done/Err/Deadline on a context.Context, or forwarding a
+//     context.Context value to any callee;
+//   - a sync/atomic Load or CompareAndSwap — the parallel runtime's
+//     workers poll an atomic abort flag between chunks.
+//
+// "Announces completion" is a sync.WaitGroup Done call (usually
+// deferred) or a close() of a channel the spawner can wait on; both are
+// accepted transitively through module-local calls.
+//
+// A `go` through a function value (go someFn() where someFn is a
+// variable) cannot be resolved to a body and is reported: a goroutine
+// the analyzer cannot see into is a goroutine reviewers cannot audit
+// either.
+package gorolife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// TargetPkgs are the packages whose `go` statements are policed.
+// Overridable for the golden tests.
+var TargetPkgs = []string{
+	"repro/internal/server",
+	"repro/internal/live",
+	"repro/internal/parallel",
+}
+
+// Analyzer is the gorolife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "gorolife",
+	Doc: "goroutines started in internal/server, internal/live and " +
+		"internal/parallel must observe a cancellation signal (ctx.Done, stop " +
+		"channel, closed-queue read, atomic flag) and announce completion " +
+		"(WaitGroup.Done or a channel close)",
+	RunModule: run,
+}
+
+// traits are the lifecycle properties of one function body.
+type traits struct {
+	observes bool
+	joins    bool
+	callees  []*types.Func
+}
+
+func run(pass *analysis.ModulePass) error {
+	// Index every function declaration's direct traits and callees.
+	index := map[*types.Func]*traits{}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[obj] = scan(pkg.Info, fd.Body)
+			}
+		}
+	}
+
+	// Fixed point: a function observes/joins if any callee does.
+	for changed := true; changed; {
+		changed = false
+		for _, tr := range index {
+			for _, callee := range tr.callees {
+				ct, ok := index[callee]
+				if !ok {
+					continue
+				}
+				if ct.observes && !tr.observes {
+					tr.observes = true
+					changed = true
+				}
+				if ct.joins && !tr.joins {
+					tr.joins = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	resolve := func(tr *traits) (observes, joins bool) {
+		observes, joins = tr.observes, tr.joins
+		for _, callee := range tr.callees {
+			if ct, ok := index[callee]; ok {
+				observes = observes || ct.observes
+				joins = joins || ct.joins
+			}
+		}
+		return observes, joins
+	}
+
+	// Police every `go` statement in the target packages.
+	for _, pkg := range pass.Pkgs {
+		if !isTarget(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var tr *traits
+				if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+					tr = scan(pkg.Info, lit.Body)
+				} else if obj, ok := analysis.CalleeObject(pkg.Info, gs.Call).(*types.Func); ok {
+					if ti, found := index[obj]; found {
+						tr = ti
+					}
+				}
+				if tr == nil {
+					pass.Reportf(pkg, gs.Pos(),
+						"goroutine started through a function value cannot be audited: "+
+							"spawn a named function or a literal so its lifecycle is checkable")
+					return true
+				}
+				observes, joins := resolve(tr)
+				if !observes {
+					pass.Reportf(pkg, gs.Pos(),
+						"goroutine observes no cancellation signal (ctx.Done, stop channel, "+
+							"closed-queue read, or atomic flag): it can outlive shutdown")
+				}
+				if !joins {
+					pass.Reportf(pkg, gs.Pos(),
+						"goroutine announces no completion (WaitGroup.Done or channel close): "+
+							"shutdown cannot wait for it")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isTarget(path string) bool {
+	for _, p := range TargetPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// scan computes one body's direct lifecycle traits. Nested function
+// literals are included — a deferred literal that calls wg.Done still
+// runs on this goroutine — but nested `go` statements are not: the inner
+// goroutine has its own lifecycle and its own check.
+func scan(info *types.Info, body ast.Node) *traits {
+	tr := &traits{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Arguments are evaluated on this goroutine; the spawned call
+			// itself is not.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					scanNode(info, m, tr)
+					return true
+				})
+			}
+			return false
+		default:
+			scanNode(info, n, tr)
+		}
+		return true
+	})
+	return tr
+}
+
+// scanNode folds one node into the traits.
+func scanNode(info *types.Info, n ast.Node, tr *traits) {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			tr.observes = true
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				tr.observes = true
+			}
+		}
+	case *ast.CallExpr:
+		// close(ch) announces completion.
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+			if info.ObjectOf(id) == nil || info.ObjectOf(id).Pkg() == nil {
+				tr.joins = true
+				return
+			}
+		}
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+			recv := info.TypeOf(sel.X)
+			switch sel.Sel.Name {
+			case "Done":
+				if isWaitGroup(recv) {
+					tr.joins = true
+					return
+				}
+				if isContext(recv) {
+					tr.observes = true
+					return
+				}
+			case "Err", "Deadline":
+				if isContext(recv) {
+					tr.observes = true
+					return
+				}
+			case "Load", "CompareAndSwap":
+				if isAtomicType(recv) {
+					tr.observes = true
+					return
+				}
+			}
+			// sync/atomic package functions (atomic.LoadInt64 & co).
+			if obj := info.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "sync/atomic" {
+				switch {
+				case len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Load":
+					tr.observes = true
+					return
+				case len(sel.Sel.Name) >= 7 && sel.Sel.Name[:7] == "Compare":
+					tr.observes = true
+					return
+				}
+			}
+		}
+		// Forwarding a context to any callee counts as observing: the
+		// callee owns the deadline machinery from here on.
+		for _, arg := range n.Args {
+			if isContext(info.TypeOf(arg)) {
+				tr.observes = true
+			}
+		}
+		// Record resolvable module-local callees for the fixed point.
+		if obj, ok := analysis.CalleeObject(info, n).(*types.Func); ok {
+			tr.callees = append(tr.callees, obj)
+		}
+	}
+}
+
+func isWaitGroup(t types.Type) bool {
+	return isNamed(t, "sync", "WaitGroup")
+}
+
+func isContext(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types
+// (Pointer[T], Int64, Bool, ...).
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

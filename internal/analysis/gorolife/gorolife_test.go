@@ -1,0 +1,14 @@
+package gorolife
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	old := TargetPkgs
+	TargetPkgs = []string{"gorolife"}
+	t.Cleanup(func() { TargetPkgs = old })
+	analysistest.Run(t, Analyzer, "gorolife")
+}

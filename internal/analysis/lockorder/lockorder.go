@@ -1,0 +1,569 @@
+// Package lockorder proves the serving tier's documented mutex
+// hierarchy: live.Graph.mu before server.Registry.mu before
+// server.Cache.mu, each acquired at most once per path.
+//
+// The live-graph publish pipeline holds locks across package boundaries
+// (a version publish runs the registry's republish callback while the
+// live graph's lock is held, and the registry's onPublish hook touches
+// the result cache), so the safe acquisition order is a convention
+// documented in internal/server/registry.go — nothing in the type system
+// stops a new handler from calling into the registry while holding the
+// cache's lock and deadlocking against a concurrent publish. This
+// analyzer makes the convention machine-checked:
+//
+//   - it builds a per-function summary of which hierarchy locks each
+//     function may acquire, propagated transitively over resolvable
+//     calls across every loaded package (a module-wide pass);
+//   - it walks every function in the target packages with a lexical
+//     held-lock set, flagging an acquisition of a hierarchy lock at or
+//     above a held one (out of order), a second acquisition of a lock
+//     already held on the same receiver (self-deadlock), and a call to
+//     a function whose summary may acquire such a lock;
+//   - it flags a return path (or fall-off-the-end path) on which a
+//     lexically acquired mutex — ranked or not — is still held with no
+//     pending defer'd Unlock.
+//
+// Goroutine bodies (`go` statements) and function literals are walked
+// with an empty held set and excluded from caller summaries: they run on
+// other goroutines or at unknown later times, so they neither inherit
+// the spawning path's locks nor contribute to it.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LockClass identifies one mutex struct field by its owner type.
+type LockClass struct {
+	Pkg   string // owner type's package import path
+	Type  string // owner type name
+	Field string // mutex field name
+}
+
+// Level is one rung of the documented hierarchy.
+type Level struct {
+	Class LockClass
+	Name  string // short name used in diagnostics
+}
+
+// Hierarchy is the documented acquisition order, outermost lock first.
+// A function may acquire these locks only in strictly increasing rank
+// order. Overridable so the golden tests can point the analyzer at stub
+// types.
+var Hierarchy = []Level{
+	{LockClass{"repro/internal/live", "Graph", "mu"}, "live"},
+	{LockClass{"repro/internal/server", "Registry", "mu"}, "registry"},
+	{LockClass{"repro/internal/server", "Cache", "mu"}, "cache"},
+}
+
+// TargetPkgs are the packages whose function bodies are checked for
+// violations. Acquisition summaries are still built from every loaded
+// package, so a call from a target package into a helper elsewhere is
+// followed. Overridable for the golden tests.
+var TargetPkgs = []string{
+	"repro/internal/live",
+	"repro/internal/server",
+}
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisitions in internal/live and internal/server must follow " +
+		"the documented live -> registry -> cache hierarchy, never double-acquire, " +
+		"and release on every return path",
+	RunModule: run,
+}
+
+// orderString renders the documented hierarchy for diagnostics.
+func orderString() string {
+	s := ""
+	for i, lv := range Hierarchy {
+		if i > 0 {
+			s += " -> "
+		}
+		s += lv.Name
+	}
+	return s
+}
+
+// rankOf returns the hierarchy rank and display name of class, or ok
+// false for a mutex outside the hierarchy.
+func rankOf(class LockClass) (rank int, name string, ok bool) {
+	for i, lv := range Hierarchy {
+		if lv.Class == class {
+			return i, lv.Name, true
+		}
+	}
+	return 0, "", false
+}
+
+// funcInfo is one analyzed function declaration plus its transitive
+// ranked-lock acquisition summary.
+type funcInfo struct {
+	pkg      *analysis.Package
+	decl     *ast.FuncDecl
+	acquires map[LockClass]bool // ranked classes this function may acquire
+	callees  []*types.Func
+}
+
+func run(pass *analysis.ModulePass) error {
+	// Pass 1: index every function declaration in the loaded set and
+	// collect its direct ranked acquisitions and resolvable callees.
+	index := map[*types.Func]*funcInfo{}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, decl: fd, acquires: map[LockClass]bool{}}
+				collectSummary(pkg, fd.Body, fi)
+				index[obj] = fi
+			}
+		}
+	}
+
+	// Fixed point: propagate acquisitions over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range index {
+			for _, callee := range fi.callees {
+				ci, ok := index[callee]
+				if !ok {
+					continue
+				}
+				for class := range ci.acquires {
+					if !fi.acquires[class] {
+						fi.acquires[class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: lexical walk of every function (and every function literal,
+	// with a fresh held set) in the target packages.
+	for _, pkg := range pass.Pkgs {
+		if !isTarget(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &walker{pass: pass, pkg: pkg, index: index, fname: fd.Name.Name}
+				w.checkBody(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func isTarget(path string) bool {
+	for _, p := range TargetPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSummary records fi's direct ranked acquisitions and callees.
+// Function literals and `go` statement calls are excluded: a closure may
+// run long after this function returned (or on another goroutine), so
+// charging its locks to this function's summary would poison every
+// caller with false inversions.
+func collectSummary(pkg *analysis.Package, body ast.Node, fi *funcInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if key, ok := mutexOperand(pkg.Info, n, "Lock", "RLock"); ok {
+				if _, _, ranked := rankOf(key.class); ranked {
+					fi.acquires[key.class] = true
+				}
+				return true
+			}
+			if obj, ok := analysis.CalleeObject(pkg.Info, n).(*types.Func); ok {
+				fi.callees = append(fi.callees, obj)
+			}
+		}
+		return true
+	})
+}
+
+// lockKey identifies one tracked mutex: its class (zero for a plain
+// mutex variable) and, when resolvable, the object anchoring the
+// receiver (`r` in r.mu.Lock(), or the mutex variable itself) so two
+// different instances of one type are not confused.
+type lockKey struct {
+	class LockClass
+	recv  types.Object
+}
+
+// mutexOperand reports the lock key when call is one of the named
+// methods on a sync.Mutex/RWMutex-typed operand.
+func mutexOperand(info *types.Info, call *ast.CallExpr, names ...string) (lockKey, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false
+	}
+	match := false
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return lockKey{}, false
+	}
+	mux := ast.Unparen(sel.X)
+	if t := info.TypeOf(mux); t == nil || !isMutexType(t) {
+		return lockKey{}, false
+	}
+	switch x := mux.(type) {
+	case *ast.Ident:
+		return lockKey{recv: info.ObjectOf(x)}, true
+	case *ast.SelectorExpr:
+		// r.mu / e.entry.mu: the field's owner type is the type of the
+		// expression the field is selected from.
+		ot := info.TypeOf(x.X)
+		if ot == nil {
+			return lockKey{}, false
+		}
+		if p, ok := ot.Underlying().(*types.Pointer); ok {
+			ot = p.Elem()
+		}
+		named, ok := ot.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return lockKey{}, false
+		}
+		key := lockKey{class: LockClass{
+			Pkg:   named.Obj().Pkg().Path(),
+			Type:  named.Obj().Name(),
+			Field: x.Sel.Name,
+		}}
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			key.recv = info.ObjectOf(base)
+		}
+		return key, true
+	}
+	return lockKey{}, false
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// heldLock is one lexically held mutex on the current path.
+type heldLock struct {
+	key      lockKey
+	rank     int
+	name     string // hierarchy name, or "Type.field" / var name
+	ranked   bool
+	deferred bool // a defer'd Unlock releases it at function exit
+	pos      token.Pos
+}
+
+// display names an unranked lock for diagnostics.
+func (h heldLock) display() string { return h.name }
+
+func keyName(key lockKey) string {
+	if _, name, ok := rankOf(key.class); ok {
+		return name
+	}
+	if key.class != (LockClass{}) {
+		return key.class.Type + "." + key.class.Field
+	}
+	if key.recv != nil {
+		return key.recv.Name()
+	}
+	return "mutex"
+}
+
+// walker threads the held-lock set through one function body.
+type walker struct {
+	pass  *analysis.ModulePass
+	pkg   *analysis.Package
+	index map[*types.Func]*funcInfo
+	fname string
+}
+
+// checkBody walks one function or literal body with an empty held set
+// and reports locks still held when the body falls off its end.
+func (w *walker) checkBody(body *ast.BlockStmt) {
+	held := w.stmts(body.List, nil)
+	if endsInTerminator(body.List) {
+		return
+	}
+	for _, h := range held {
+		if !h.deferred {
+			w.pass.Reportf(w.pkg, body.Rbrace,
+				"%s exits with %s still locked (acquired at line %d; no Unlock on this path)",
+				w.fname, h.display(), w.pkg.Fset.Position(h.pos).Line)
+		}
+	}
+}
+
+// endsInTerminator reports whether the statement list cannot fall off
+// its end normally (it ends in a return or an unconditional panic) —
+// those paths are checked at the return/panic site instead.
+func endsInTerminator(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		// `for { ... }` with no condition never falls through.
+		return s.Cond == nil
+	case *ast.SelectStmt:
+		return true
+	}
+	return false
+}
+
+// stmts walks a statement list with a copy of held, returning the set
+// live after the last statement.
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	held = append([]heldLock(nil), held...)
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// stmt walks one statement and returns the held set for its successors.
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, ok := mutexOperand(w.pkg.Info, call, "Lock", "RLock"); ok {
+				return w.acquire(held, key, call.Pos())
+			}
+			if key, ok := mutexOperand(w.pkg.Info, call, "Unlock", "RUnlock"); ok {
+				return release(held, key)
+			}
+		}
+		w.exprs(held, s.X)
+	case *ast.DeferStmt:
+		if key, ok := mutexOperand(w.pkg.Info, s.Call, "Unlock", "RUnlock"); ok {
+			// The matching Lock put it into held; mark it released-at-exit.
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].key == key {
+					held[i].deferred = true
+					break
+				}
+			}
+			return held
+		}
+		// A defer'd helper runs at exit under an unknowable lock set;
+		// only scan it for nested literals.
+		w.exprs(nil, s.Call)
+	case *ast.AssignStmt:
+		w.exprs(held, s.Rhs...)
+		w.exprs(held, s.Lhs...)
+	case *ast.IncDecStmt:
+		w.exprs(held, s.X)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprs(held, s.Cond)
+		w.stmts(s.Body.List, held)
+		if s.Else != nil {
+			w.stmt(s.Else, held)
+		}
+	case *ast.ForStmt:
+		inner := held
+		if s.Init != nil {
+			inner = w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.exprs(inner, s.Cond)
+		}
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.exprs(held, s.X)
+		w.stmts(s.Body.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.exprs(held, s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine starts lock-free; its body is checked
+		// separately (FuncLit via exprs, method bodies as declarations).
+		w.exprs(nil, s.Call.Fun)
+		w.exprs(held, s.Call.Args...)
+	case *ast.ReturnStmt:
+		w.exprs(held, s.Results...)
+		for _, h := range held {
+			if !h.deferred {
+				w.pass.Reportf(w.pkg, s.Pos(),
+					"%s returns with %s still locked (acquired at line %d; no Unlock on this path)",
+					w.fname, h.display(), w.pkg.Fset.Position(h.pos).Line)
+			}
+		}
+	case *ast.SendStmt:
+		w.exprs(held, s.Chan, s.Value)
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	}
+	return held
+}
+
+// acquire reports ordering/double-acquisition violations for taking key
+// while held is live, then extends the set.
+func (w *walker) acquire(held []heldLock, key lockKey, pos token.Pos) []heldLock {
+	rank, name, ranked := rankOf(key.class)
+	for _, h := range held {
+		sameRecv := h.key.recv == nil || key.recv == nil || h.key.recv == key.recv
+		if h.key.class == key.class && (key.class != (LockClass{}) || h.key.recv == key.recv) && sameRecv {
+			w.pass.Reportf(w.pkg, pos,
+				"%s acquires %s while already holding it (acquired at line %d): sync mutexes are not reentrant",
+				w.fname, keyName(key), w.pkg.Fset.Position(h.pos).Line)
+			continue
+		}
+		if ranked && h.ranked && h.rank >= rank {
+			w.pass.Reportf(w.pkg, pos,
+				"%s acquires %s while holding %s: documented lock order is %s",
+				w.fname, name, h.display(), orderString())
+		}
+	}
+	hl := heldLock{key: key, pos: pos, name: keyName(key)}
+	if ranked {
+		hl.rank, hl.ranked = rank, true
+	}
+	return append(held, hl)
+}
+
+// release drops the most recent matching acquisition.
+func release(held []heldLock, key lockKey) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == key {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// exprs scans expressions under the current held set: calls to functions
+// whose summaries acquire hierarchy locks are checked against it, and
+// nested function literals are walked with a fresh empty set.
+func (w *walker) exprs(held []heldLock, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				w2 := &walker{pass: w.pass, pkg: w.pkg, index: w.index, fname: w.fname + " (func literal)"}
+				w2.checkBody(n.Body)
+				return false
+			case *ast.CallExpr:
+				if len(held) == 0 {
+					return true
+				}
+				if _, ok := mutexOperand(w.pkg.Info, n, "Lock", "RLock", "Unlock", "RUnlock"); ok {
+					return true
+				}
+				obj, ok := analysis.CalleeObject(w.pkg.Info, n).(*types.Func)
+				if !ok {
+					return true
+				}
+				fi, ok := w.index[obj]
+				if !ok {
+					return true
+				}
+				w.checkCall(held, obj, fi, n.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags a call that may transitively acquire a hierarchy lock
+// at or above one the caller currently holds.
+func (w *walker) checkCall(held []heldLock, callee *types.Func, fi *funcInfo, pos token.Pos) {
+	for class := range fi.acquires {
+		rank, name, ok := rankOf(class)
+		if !ok {
+			continue
+		}
+		for _, h := range held {
+			if h.key.class == class {
+				w.pass.Reportf(w.pkg, pos,
+					"%s calls %s, which may acquire %s while %s holds it: sync mutexes are not reentrant",
+					w.fname, callee.Name(), name, w.fname)
+				break
+			}
+			if h.ranked && h.rank >= rank {
+				w.pass.Reportf(w.pkg, pos,
+					"%s calls %s, which may acquire %s, while holding %s: documented lock order is %s",
+					w.fname, callee.Name(), name, h.display(), orderString())
+				break
+			}
+		}
+	}
+}

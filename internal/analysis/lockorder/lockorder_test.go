@@ -1,0 +1,37 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// withStubHierarchy points the analyzer at golden stub types for the
+// duration of one test and restores the real configuration after.
+func withStubHierarchy(t *testing.T, hierarchy []Level, targets []string) {
+	t.Helper()
+	oldH, oldT := Hierarchy, TargetPkgs
+	Hierarchy, TargetPkgs = hierarchy, targets
+	t.Cleanup(func() { Hierarchy, TargetPkgs = oldH, oldT })
+}
+
+func TestGolden(t *testing.T) {
+	withStubHierarchy(t, []Level{
+		{LockClass{"lockorder", "Live", "mu"}, "live"},
+		{LockClass{"lockorder", "Reg", "mu"}, "registry"},
+		{LockClass{"lockorder", "Cache", "mu"}, "cache"},
+	}, []string{"lockorder"})
+	analysistest.Run(t, Analyzer, "lockorder")
+}
+
+// TestGoldenCrossPackage seeds a cache -> registry inversion that is
+// only visible through the module-wide acquisition summary: the caller
+// holds the cache lock and the registry acquisition happens inside a
+// helper in another package.
+func TestGoldenCrossPackage(t *testing.T) {
+	withStubHierarchy(t, []Level{
+		{LockClass{"lockorderx/dep", "Reg", "mu"}, "registry"},
+		{LockClass{"lockorderx/app", "Cache", "mu"}, "cache"},
+	}, []string{"lockorderx/dep", "lockorderx/app"})
+	analysistest.RunPkgs(t, Analyzer, "lockorderx/dep", "lockorderx/app")
+}

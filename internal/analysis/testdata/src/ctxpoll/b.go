@@ -1,0 +1,67 @@
+// Golden input for ctxpoll's v2 rules: exported context.Context
+// parameters must be used or forwarded, and (with this package listed as
+// a serving-tier package) dsd.Options literals must set Ctx.
+package ctxpoll
+
+import (
+	"context"
+
+	dsd "repro"
+)
+
+// Enqueue mirrors the live writer loop's entry point: the context is
+// observed in a select. Compliant.
+func Enqueue(ctx context.Context, queue chan int, v int) error {
+	select {
+	case queue <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ForwardsCtx hands the context to a callee. Compliant.
+func ForwardsCtx(ctx context.Context, v int) error {
+	return consume(ctx, v)
+}
+
+// StoresCtx keeps the context on a struct for a later solve. Compliant.
+type dispatcher struct {
+	ctx context.Context
+}
+
+func (d *dispatcher) SetContext(ctx context.Context) {
+	d.ctx = ctx
+}
+
+// DropsCtx takes a context and never touches it: the caller's deadline
+// silently dies here.
+func DropsCtx(ctx context.Context, v int) int { // want "exported DropsCtx takes a context.Context"
+	return v * 2
+}
+
+// Discard explicitly declines the context with the blank identifier:
+// out of the contract, like an unexported helper.
+func Discard(_ context.Context, v int) int {
+	return v
+}
+
+// DispatchWithCtx builds the solve options the way the degradation
+// ladder does — Ctx threaded. Compliant.
+func DispatchWithCtx(ctx context.Context, g *dsd.Graph) (dsd.Result, error) {
+	return dsd.SolveUDS(g, dsd.AlgoPKMC, dsd.Options{Workers: 2, Ctx: ctx})
+}
+
+// DispatchNoCtx dispatches a solve with no context: under a serving-tier
+// package this literal is a cancellation hole.
+func DispatchNoCtx(g *dsd.Graph) (dsd.Result, error) {
+	return dsd.SolveUDS(g, dsd.AlgoPKMC, dsd.Options{Workers: 2}) // want "dsd.Options literal in the serving tier must set Ctx"
+}
+
+func consume(ctx context.Context, v int) error {
+	if ctx != nil {
+		return ctx.Err()
+	}
+	_ = v
+	return nil
+}

@@ -1,0 +1,67 @@
+// Golden input for the errcode analyzer. The test points the analyzer's
+// registry at this package, which stubs the serving tier's structured
+// error type and code registry with seeded violations of every rule.
+package errcode
+
+const (
+	CodeOK      = "all_good"
+	CodeRetry   = "retry_later"
+	CodeDup     = "all_good"     // want "error code CodeDup duplicates the value \"all_good\" of CodeOK"
+	CodeCamel   = "BadCase"      // want "error code CodeCamel = \"BadCase\" is not snake_case"
+	CodeMissing = "missing_code" // want "CodeMissing is not listed in the Codes"
+)
+
+func Codes() []string {
+	return []string{
+		CodeOK,
+		CodeRetry,
+		CodeDup,
+		CodeOK,          // want "CodeOK listed twice in Codes"
+		"stray_literal", // want "entry is not a Code"
+		CodeCamel,
+	}
+}
+
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func good() *apiError {
+	return &apiError{status: 400, code: CodeOK, message: "fine"}
+}
+
+func goodPositional() apiError {
+	return apiError{400, CodeRetry, "fine"}
+}
+
+func badLiteral() *apiError {
+	return &apiError{status: 400, code: "ad_hoc"} // want "apiError code must be a registered Code. constant"
+}
+
+func badPositional() apiError {
+	return apiError{400, "nope", "m"} // want "apiError code must be a registered Code. constant"
+}
+
+func missingCode() *apiError {
+	return &apiError{status: 500} // want "apiError literal without a code"
+}
+
+func lateAssign(e *apiError) {
+	e.code = "late" // want "assignment to apiError.code must use a registered Code. constant"
+}
+
+func goodAssign(e *apiError) {
+	e.code = CodeRetry
+}
+
+// Forwarding an existing error's code is fine: the value was checked
+// where the source error was built.
+func copyCode(dst, src *apiError) {
+	dst.code = src.code
+}
+
+func cloneWith(src *apiError) *apiError {
+	return &apiError{status: src.status, code: src.code, message: src.message}
+}

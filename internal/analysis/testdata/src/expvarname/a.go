@@ -1,0 +1,38 @@
+// Golden input for the expvarname analyzer. The test points the
+// analyzer's registry-package list at this package, which stubs a
+// metric-name registry with seeded violations of every rule.
+package expvarname
+
+import "expvar"
+
+const (
+	MetricHits     = "hits_total"
+	MetricLatency  = "latency_ms_sum"
+	MetricDup      = "hits_total"   // want "metric name MetricDup duplicates the value \"hits_total\" of MetricHits"
+	MetricCamel    = "CamelSeries"  // want "metric name MetricCamel = \"CamelSeries\" is not snake_case"
+	MetricTrailing = "bad_"         // want "metric name MetricTrailing = \"bad_\" is not snake_case"
+	MetricStray    = "stray_series" // want "MetricStray is not listed in the MetricNames"
+)
+
+func MetricNames() []string {
+	return []string{
+		MetricHits,
+		MetricLatency,
+		MetricDup,
+		MetricCamel,
+		MetricTrailing,
+		MetricHits,   // want "MetricHits listed twice in MetricNames"
+		"raw_string", // want "entry is not a registered Metric"
+	}
+}
+
+func registerGood() {
+	expvar.NewInt(MetricHits)
+	expvar.Publish(MetricLatency, expvar.Func(func() any { return 0 }))
+}
+
+func registerBad() {
+	expvar.NewInt("raw_name") // want "expvar.NewInt name must be a registered Metric. constant"
+	name := MetricHits
+	expvar.NewMap(name) // want "expvar.NewMap name must be a registered Metric. constant"
+}

@@ -1,0 +1,108 @@
+// Golden input for the gorolife analyzer: goroutine lifecycle patterns,
+// compliant and seeded-violating. The test points TargetPkgs here.
+package gorolife
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// StopChannel is the live writer-loop shape: select on a stop channel,
+// close a done channel on the way out. Clean on both counts.
+func StopChannel(queue, stop chan int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case v := <-queue:
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// AtomicFlag is the parallel-worker shape: WaitGroup join plus an atomic
+// abort flag polled between chunks. Clean.
+func AtomicFlag(wg *sync.WaitGroup, abort *atomic.Bool, n int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n && !abort.Load(); i++ {
+			_ = i
+		}
+	}()
+}
+
+// CtxDone blocks on the request context. Clean.
+func CtxDone(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+	}()
+}
+
+// ViaHelper observes its signal through a helper call — the check is
+// transitive across resolvable module functions.
+func ViaHelper(stop chan int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drain(stop)
+	}()
+}
+
+func drain(stop chan int) {
+	for range stop {
+	}
+}
+
+// Named is the flight-leader shape: a named method spawn whose body
+// forwards its context to the workload and closes a completion channel.
+func Named(ctx context.Context, work func(context.Context)) chan struct{} {
+	done := make(chan struct{})
+	go lead(ctx, work, done)
+	return done
+}
+
+func lead(ctx context.Context, work func(context.Context), done chan struct{}) {
+	defer close(done)
+	work(ctx)
+}
+
+// NoSignal never looks at any cancellation channel: it runs to its own
+// natural end no matter what shutdown wants.
+func NoSignal(wg *sync.WaitGroup, n int) {
+	wg.Add(1)
+	go func() { // want "goroutine observes no cancellation signal"
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// NoJoin observes the stop channel but nobody can wait for it to finish.
+func NoJoin(stop chan int) {
+	go func() { // want "goroutine announces no completion"
+		<-stop
+	}()
+}
+
+// FireAndForget fails both checks.
+func FireAndForget() {
+	go func() { // want "goroutine observes no cancellation signal" "goroutine announces no completion"
+		println("hi")
+	}()
+}
+
+// Opaque spawns through a function value: nothing to analyze, which is
+// itself the finding.
+func Opaque(f func()) {
+	go f() // want "goroutine started through a function value"
+}

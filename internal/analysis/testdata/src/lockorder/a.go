@@ -1,0 +1,173 @@
+// Golden input for the lockorder analyzer. The test overrides the
+// analyzer's hierarchy to rank these stub types: Live.mu ("live") before
+// Reg.mu ("registry") before Cache.mu ("cache").
+package lockorder
+
+import "sync"
+
+type Live struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type Reg struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// InOrder takes the three locks in the documented order: clean.
+func InOrder(l *Live, r *Reg, c *Cache) {
+	l.mu.Lock()
+	r.mu.Lock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// Skipping a rank downward is fine too: registry then cache.
+func SkipRank(r *Reg, c *Cache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Inverted acquires the registry lock while holding the cache lock.
+func Inverted(r *Reg, c *Cache) {
+	c.mu.Lock()
+	r.mu.Lock() // want "Inverted acquires registry while holding cache: documented lock order is live -> registry -> cache"
+	r.n++
+	r.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// RInverted inverts with reader locks — the order applies to RLock too.
+func RInverted(l *Live, r *Reg) {
+	r.mu.RLock()
+	l.mu.RLock() // want "RInverted acquires live while holding registry"
+	_ = l.n
+	l.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+// Double re-acquires a lock already held on the same receiver.
+func Double(r *Reg) {
+	r.mu.Lock()
+	r.mu.Lock() // want "Double acquires registry while already holding it"
+	r.n++
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// LeakOnReturn has an early return that skips the Unlock.
+func LeakOnReturn(c *Cache, bail bool) int {
+	c.mu.Lock()
+	if bail {
+		return 0 // want "LeakOnReturn returns with cache still locked"
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// LeakAtEnd falls off the end of the function with the lock held.
+func LeakAtEnd(l *Live) {
+	l.mu.Lock()
+	l.n++
+} // want "LeakAtEnd exits with live still locked"
+
+// DeferRelease is the canonical clean shape: every return path is
+// covered by the deferred Unlock.
+func DeferRelease(r *Reg, bail bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bail {
+		return 0
+	}
+	return r.n
+}
+
+// BranchRelease unlocks on the early path and again on the main path.
+func BranchRelease(c *Cache, bail bool) int {
+	c.mu.Lock()
+	if bail {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// lockReg is a helper whose summary records a registry acquisition.
+func lockReg(r *Reg) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// ViaCall reaches the inversion through the helper's summary.
+func ViaCall(r *Reg, c *Cache) {
+	c.mu.Lock()
+	lockReg(r) // want "ViaCall calls lockReg, which may acquire registry, while holding cache"
+	c.mu.Unlock()
+}
+
+// ViaCallSame calls a helper that re-acquires the very lock held.
+func ViaCallSame(r *Reg) {
+	r.mu.Lock()
+	lockReg(r) // want "ViaCallSame calls lockReg, which may acquire registry while ViaCallSame holds it"
+	r.mu.Unlock()
+}
+
+// Spawn holds the cache lock while starting a goroutine that takes the
+// registry lock: clean — the goroutine begins with an empty lock set.
+func Spawn(r *Reg, c *Cache) {
+	c.mu.Lock()
+	go func() {
+		lockReg(r)
+	}()
+	c.mu.Unlock()
+}
+
+// Closure is only scanned, never charged to Closure's own path: the
+// literal is stored and may run later, lock-free. Violations inside the
+// literal's own body are still caught.
+func Closure(r *Reg, c *Cache) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		r.mu.Lock() // want "acquires registry while holding cache"
+		r.mu.Unlock()
+		c.mu.Unlock()
+	}
+}
+
+// Unranked mutexes still get the double-acquire and leak checks.
+type other struct {
+	mu sync.Mutex
+}
+
+func UnrankedLeak(o *other, bail bool) {
+	o.mu.Lock()
+	if bail {
+		return // want "UnrankedLeak returns with other.mu still locked"
+	}
+	o.mu.Unlock()
+}
+
+func UnrankedDouble(o *other) {
+	o.mu.Lock()
+	o.mu.Lock() // want "UnrankedDouble acquires other.mu while already holding it"
+	o.mu.Unlock()
+	o.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Golden input for lockorder's cross-package summaries: the seeded
+// cache -> registry inversion happens through a call into the dep
+// package, so only the module-wide pass can see it.
+package app
+
+import (
+	"sync"
+
+	"lockorderx/dep"
+)
+
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Invalidate holds the cache lock and calls into the registry package:
+// the documented order is registry before cache, so this can deadlock
+// against a concurrent publish that takes them the right way around.
+func Invalidate(r *dep.Reg, c *Cache) {
+	c.mu.Lock()
+	dep.Publish(r) // want "Invalidate calls Publish, which may acquire registry, while holding cache"
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// Refresh is the compliant direction: registry first, cache second.
+func Refresh(r *dep.Reg, c *Cache) {
+	dep.Publish(r)
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}

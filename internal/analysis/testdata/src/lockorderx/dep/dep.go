@@ -1,0 +1,19 @@
+// Golden input for lockorder's cross-package summaries: a registry-like
+// type whose locking helper lives in a different package than its
+// callers.
+package dep
+
+import "sync"
+
+type Reg struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Publish acquires the registry lock; callers in other packages must
+// not hold a lower-ranked lock when calling it.
+func Publish(r *Reg) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

@@ -5,11 +5,74 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/trace"
 )
+
+// Expvar series names owned by the serving tier. Dashboards key on these
+// strings, so they are constants with a registry rather than literals
+// scattered through snapshot(): the expvarname analyzer enforces that
+// every name is snake_case and listed exactly once in MetricNames(), and
+// TestMetricNameRegistry pins distinctness across this package and
+// internal/live (which owns the mutation/compaction series) plus the
+// fact that every registered name actually appears on the wire.
+const (
+	MetricRequests             = "requests"
+	MetricErrors               = "errors"
+	MetricLatencyMsSum         = "latency_ms_sum"
+	MetricLatencyMsMax         = "latency_ms_max"
+	MetricActiveRequests       = "active_requests"
+	MetricPanics               = "panics"
+	MetricCacheHits            = "cache_hits"
+	MetricCacheMisses          = "cache_misses"
+	MetricSolvesByGraph        = "solves_by_graph"
+	MetricSolvesByAlgo         = "solves_by_algo"
+	MetricSolveLatencyHist     = "solve_latency_hist"
+	MetricPhaseMsSum           = "phase_ms_sum"
+	MetricCoalescedSolves      = "coalesced_solves"
+	MetricDegradedSolves       = "degraded_solves"
+	MetricRequestsByTenant     = "requests_by_tenant"
+	MetricQuotaRejectsByTenant = "quota_rejects_by_tenant"
+	MetricSolveEstimateMs      = "solve_estimate_ms"
+	MetricSnapshotSaves        = "snapshot_saves"
+	MetricSnapshotRestores     = "snapshot_restores"
+	// MetricRoot is the process-global expvar name the whole surface is
+	// published under at /debug/vars.
+	MetricRoot = "dsdserver"
+)
+
+// MetricNames returns every server-owned expvar name, in declaration
+// order (the live-graph series names live in internal/live's registry).
+// The expvarname analyzer checks the list against the Metric* constants
+// above in both directions.
+func MetricNames() []string {
+	return []string{
+		MetricRequests,
+		MetricErrors,
+		MetricLatencyMsSum,
+		MetricLatencyMsMax,
+		MetricActiveRequests,
+		MetricPanics,
+		MetricCacheHits,
+		MetricCacheMisses,
+		MetricSolvesByGraph,
+		MetricSolvesByAlgo,
+		MetricSolveLatencyHist,
+		MetricPhaseMsSum,
+		MetricCoalescedSolves,
+		MetricDegradedSolves,
+		MetricRequestsByTenant,
+		MetricQuotaRejectsByTenant,
+		MetricSolveEstimateMs,
+		MetricSnapshotSaves,
+		MetricSnapshotRestores,
+		MetricRoot,
+	}
+}
 
 // Metrics is the server's expvar surface: request counts, latency sums and
 // maxima per route, structured-error counts per code, cache hit/miss
@@ -200,12 +263,12 @@ func (m *Metrics) ObserveMutation(graphName string, edges, touched int, recomput
 
 var publishOnce sync.Once
 
-// Publish registers the metrics as the process-global "dsdserver" expvar.
+// Publish registers the metrics as the process-global MetricRoot expvar.
 // Only the first call in a process wins; expvar.Publish panics on
 // duplicates and servers come and go in tests.
 func (m *Metrics) Publish() {
 	publishOnce.Do(func() {
-		expvar.Publish("dsdserver", expvar.Func(func() any { return rawJSON(m.snapshot()) }))
+		expvar.Publish(MetricRoot, expvar.Func(func() any { return rawJSON(m.snapshot()) }))
 	})
 }
 
@@ -229,22 +292,61 @@ func (m *Metrics) Observe(route string, elapsed time.Duration) {
 // Error records one structured error response.
 func (m *Metrics) Error(code string) { m.ErrorsByCode.Add(code, 1) }
 
+// metricSeries pairs one wire name with the expvar var rendered under it.
+type metricSeries struct {
+	name string
+	v    expvar.Var
+}
+
+// series returns the snapshot's key/var table in wire order. Every name
+// is a registered Metric* constant — server-owned ones from this file,
+// live-graph ones from internal/live's registry — so a typo'd or
+// unregistered key cannot reach a dashboard (TestMetricNameRegistry
+// diffs the rendered keys against the registries).
+func (m *Metrics) series() []metricSeries {
+	return []metricSeries{
+		{MetricRequests, &m.Requests},
+		{MetricErrors, &m.ErrorsByCode},
+		{MetricLatencyMsSum, &m.LatencyMsSum},
+		{MetricLatencyMsMax, &m.LatencyMsMax},
+		{MetricActiveRequests, &m.Active},
+		{MetricPanics, &m.Panics},
+		{MetricCacheHits, &m.CacheHits},
+		{MetricCacheMisses, &m.CacheMisses},
+		{MetricSolvesByGraph, &m.SolvesByGraph},
+		{MetricSolvesByAlgo, &m.SolvesByAlgo},
+		{MetricSolveLatencyHist, &m.SolveLatencyHist},
+		{MetricPhaseMsSum, &m.PhaseMsSum},
+		{live.MetricMutationsByGraph, &m.MutationsByGraph},
+		{live.MetricMutationEdges, &m.MutationEdges},
+		{live.MetricRepairTouchedHist, &m.RepairTouchedHist},
+		{live.MetricLiveCompactions, &m.LiveCompactions},
+		{live.MetricLiveCompactionMsSum, &m.LiveCompactionMsSum},
+		{live.MetricLiveRecomputes, &m.LiveRecomputes},
+		{MetricCoalescedSolves, &m.CoalescedSolves},
+		{MetricDegradedSolves, &m.DegradedSolves},
+		{MetricRequestsByTenant, &m.RequestsByTenant},
+		{MetricQuotaRejectsByTenant, &m.QuotaRejectsByTenant},
+		{MetricSolveEstimateMs, &m.SolveEstimateMs},
+		{MetricSnapshotSaves, &m.SnapshotSaves},
+		{MetricSnapshotRestores, &m.SnapshotRestores},
+	}
+}
+
 // snapshot renders the metrics as one JSON object (expvar vars stringify
-// to JSON by contract).
+// to JSON by contract), iterating the series table so the key set cannot
+// drift from the registered names.
 func (m *Metrics) snapshot() string {
-	return fmt.Sprintf(`{"requests":%s,"errors":%s,"latency_ms_sum":%s,"latency_ms_max":%s,"active_requests":%s,"panics":%s,"cache_hits":%s,"cache_misses":%s,"solves_by_graph":%s,"solves_by_algo":%s,"solve_latency_hist":%s,"phase_ms_sum":%s,"mutations_by_graph":%s,"mutation_edges":%s,"repair_touched_hist":%s,"live_compactions":%s,"live_compaction_ms_sum":%s,"live_recomputes":%s,"coalesced_solves":%s,"degraded_solves":%s,"requests_by_tenant":%s,"quota_rejects_by_tenant":%s,"solve_estimate_ms":%s,"snapshot_saves":%s,"snapshot_restores":%s}`,
-		m.Requests.String(), m.ErrorsByCode.String(),
-		m.LatencyMsSum.String(), m.LatencyMsMax.String(),
-		m.Active.String(), m.Panics.String(), m.CacheHits.String(), m.CacheMisses.String(),
-		m.SolvesByGraph.String(), m.SolvesByAlgo.String(),
-		m.SolveLatencyHist.String(), m.PhaseMsSum.String(),
-		m.MutationsByGraph.String(), m.MutationEdges.String(),
-		m.RepairTouchedHist.String(), m.LiveCompactions.String(),
-		m.LiveCompactionMsSum.String(), m.LiveRecomputes.String(),
-		m.CoalescedSolves.String(), m.DegradedSolves.String(),
-		m.RequestsByTenant.String(), m.QuotaRejectsByTenant.String(),
-		m.SolveEstimateMs.String(), m.SnapshotSaves.String(),
-		m.SnapshotRestores.String())
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range m.series() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%s", s.name, s.v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // rawJSON marks an already-encoded JSON string so expvar.Func does not
