@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race chaos cover fuzz fuzz-smoke bench bench-json live-smoke repro figures datasets examples serve clean
+.PHONY: all build vet lint lint-json test race chaos cover fuzz fuzz-smoke bench bench-json docs-algorithms live-smoke repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, the live-mutation subsystem, and
@@ -84,9 +84,17 @@ bench:
 # Machine-readable benchmark artifact: a versioned BENCH_<timestamp>.json
 # with run metadata, measurement rows, and full PKMC/PWC solver traces
 # (schema documented in DESIGN.md). Tiny scale so it finishes in seconds;
-# raise -scale for a real measurement run.
+# raise -scale for a real measurement run. The accuracy experiment rides
+# along so CI can assert the FISTA/FracPeel rows exist in the schema.
 bench-json:
-	$(GO) run ./cmd/dsdbench -json -exp datasets,live -scale 0.01
+	$(GO) run ./cmd/dsdbench -json -exp datasets,live,accuracy -scale 0.01
+
+# Regenerate docs/ALGORITHMS.md from the live solver registry. The intro
+# prose is hand-written in cmd/dsddocs/main.go; the tables are rendered
+# from the registered descriptors. CI regenerates and fails on git diff,
+# so run this after registering, renaming, or re-grading any solver.
+docs-algorithms:
+	$(GO) run ./cmd/dsddocs
 
 # End-to-end smoke of the live-graph serving path: load live over HTTP,
 # mutate, and check the standing densest answer against a from-scratch

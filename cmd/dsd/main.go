@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	dsd -in graph.txt [-directed] [-algo pkmc|local|pkc|bz|charikar|greedypp|pbu|pfw|exact|exact-pruned]
+//	dsd -in graph.txt [-directed] [-algo pkmc|local|pkc|bz|charikar|greedypp|pbu|pfw|fista|fracpeel|exact|exact-pruned]
 //	    [-algo pwc|pxy|pbs|pfks|pbd|brute]      (directed families)
 //	    [-p N] [-budget 30s] [-timeout 10s] [-verbose]
 //	dsd -in graph.txt -mode replay -mutations stream.txt   # dynamic maintenance
+//	dsd -algorithms [-json]                                # registered-algorithm catalog
 //
 // -budget caps the slow baselines and keeps their best-so-far answer;
 // -timeout is a hard deadline — the run fails with a canceled error when
@@ -21,11 +22,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro"
@@ -50,9 +53,17 @@ func run(args []string, out io.Writer) error {
 		verbose  = fs.Bool("verbose", false, "print the vertex sets, not just their sizes")
 		mode     = fs.String("mode", "solve", "solve | cores (core-number histogram) | skyline (directed cn-pairs) | tiers (density-friendly decomposition) | replay (stream mutations, incremental repair)")
 		muts     = fs.String("mutations", "", "mutation stream for -mode replay: one '+ u v' or '- u v' per line")
+		list     = fs.Bool("algorithms", false, "list the registered algorithm catalog and exit")
+		asJSON   = fs.Bool("json", false, "with -algorithms: emit the catalog as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return listAlgorithms(*asJSON, out)
+	}
+	if *asJSON {
+		return fmt.Errorf("-json applies only to -algorithms")
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -123,6 +134,50 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out)
 	if *verbose {
 		fmt.Fprintf(out, "S = %v\n", res.Vertices)
+	}
+	return nil
+}
+
+// listAlgorithms prints the registered solver catalog — the same registry
+// SolveUDS/SolveDDS dispatch from, so the listing can never drift from
+// what the binary actually runs. JSON output carries the full descriptors
+// keyed by family; the text form is a compact table plus guarantees.
+func listAlgorithms(asJSON bool, out io.Writer) error {
+	if asJSON {
+		catalog := map[string][]dsd.AlgorithmInfo{
+			"uds": dsd.Algorithms(dsd.ProblemUDS),
+			"dds": dsd.Algorithms(dsd.ProblemDDS),
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(catalog)
+	}
+	for _, problem := range []dsd.Problem{dsd.ProblemUDS, dsd.ProblemDDS} {
+		fmt.Fprintf(out, "%s algorithms (default %s):\n", strings.ToUpper(string(problem)), dsd.DefaultAlgorithm(problem))
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		for _, info := range dsd.Algorithms(problem) {
+			var marks []string
+			if info.Default {
+				marks = append(marks, "default")
+			}
+			if info.Degradable {
+				marks = append(marks, "degradable")
+			}
+			if info.DegradeRank > 0 {
+				marks = append(marks, fmt.Sprintf("ladder rung %d", info.DegradeRank))
+			}
+			if info.Serial {
+				marks = append(marks, "serial")
+			}
+			if info.Budgeted {
+				marks = append(marks, "budgeted")
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", info.Name, info.Display, info.Grade, strings.Join(marks, ", "))
+			fmt.Fprintf(tw, "  \t%s\t\t\n", info.Guarantee)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,5 +133,50 @@ func TestRunAnalysisModes(t *testing.T) {
 	}
 	if err := run([]string{"-in", und, "-mode", "bogus"}, &out); err == nil {
 		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestRunAlgorithmsListing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algorithms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"UDS algorithms (default pkmc)", "DDS algorithms (default pwc)",
+		"fista", "FISTA", "fracpeel", "FracPeel",
+		"duality gap", "fractional peeling",
+		"ladder rung 1", "degradable",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAlgorithmsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algorithms", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var catalog map[string][]dsd.AlgorithmInfo
+	if err := json.Unmarshal(out.Bytes(), &catalog); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(catalog["uds"]) != len(dsd.UDSAlgorithms()) || len(catalog["dds"]) != len(dsd.DDSAlgorithms()) {
+		t.Fatalf("catalog sizes %d/%d disagree with the registry", len(catalog["uds"]), len(catalog["dds"]))
+	}
+	var fista *dsd.AlgorithmInfo
+	for i := range catalog["uds"] {
+		if catalog["uds"][i].Name == dsd.AlgoFISTA {
+			fista = &catalog["uds"][i]
+		}
+	}
+	if fista == nil || fista.Grade != "1+eps" || !fista.CLI || !fista.Server {
+		t.Fatalf("fista entry missing or wrong: %+v", fista)
+	}
+	// -json without -algorithms is a usage error.
+	if err := run([]string{"-json"}, &out); err == nil {
+		t.Fatal("-json alone should be rejected")
 	}
 }

@@ -11,9 +11,11 @@
 //
 // Experiments: datasets (Tables 4/5), exp1 (Fig 5), exp2 (Table 6),
 // exp3 (Fig 6), exp4 (Fig 7), exp5 (Fig 8), exp6 (Table 7), exp7 (Fig 9),
-// exp8 (Fig 10), ratios (approximation quality vs exact), live (mutation
-// replay: incremental k*-core repair vs full BZ recompute per batch size,
-// -mut-batches to pick the sizes).
+// exp8 (Fig 10), ratios (approximation quality vs exact — every registered
+// non-exact solver), accuracy (FISTA / FracPeel / Greedy++ density vs time
+// across iteration budgets), live (mutation replay: incremental k*-core
+// repair vs full BZ recompute per batch size, -mut-batches to pick the
+// sizes).
 //
 // -json switches from rendered tables to the versioned benchmark artifact:
 // a BENCH_<timestamp>.json file (schema_version, run metadata, measurement
@@ -44,7 +46,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		exps    = fs.String("exp", "all", "comma-separated experiments (all | datasets | exp1..exp8 | ratios | live | extensions)")
+		exps    = fs.String("exp", "all", "comma-separated experiments (all | datasets | exp1..exp8 | ratios | accuracy | live | extensions)")
 		scale   = fs.Float64("scale", 0.1, "dataset scale multiplier")
 		workers = fs.Int("p", 0, "default thread count (0 = GOMAXPROCS)")
 		budget  = fs.Duration("budget", 30*time.Second, "per-run budget for slow baselines")
@@ -104,6 +106,7 @@ func run(args []string, w io.Writer) error {
 		collect("exp7", bench.Exp7)
 		collect("exp8", bench.Exp8)
 		collect("ratios", bench.Ratios)
+		collect("accuracy", bench.Accuracy)
 		collect("live", bench.LiveReplay)
 		if selected["extensions"] {
 			all = append(all, bench.Extensions(cfg)...)
@@ -184,6 +187,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if run("ratios") {
 		bench.FormatRows(w, "Approximation ratios vs exact (ratio_x1000 = 1000·ρ*/ρ)", bench.Ratios(cfg))
+	}
+	if run("accuracy") {
+		bench.FormatRows(w, "Accuracy vs time: FISTA / FracPeel / Greedy++ across iteration budgets", bench.Accuracy(cfg))
 	}
 	if run("live") {
 		bench.FormatRows(w, "Live replay: incremental k*-core repair vs full BZ recompute (per-batch mean seconds)", bench.LiveReplay(cfg))

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderCoversRegistry(t *testing.T) {
+	doc := string(Render())
+	for _, want := range []string{
+		"# Algorithm reference",
+		"DO NOT EDIT",
+		"## Undirected (UDS): maximize |E(S)| / |S|",
+		"## Directed (DDS): maximize |E(S,T)| / √(|S|·|T|)",
+		"Default (empty `Algo`): `pkmc`.",
+		"Default (empty `Algo`): `pwc`.",
+		"| `fista` | FISTA | `1+eps` |",
+		"| `fracpeel` | FracPeel | `1+eps` |",
+		"duality gap",
+		"fractional peeling",
+		"### Degradation ladder",
+		"1. `greedypp`",
+		"2. `pkmc`",
+		"1. `pwc`",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("rendered doc missing %q", want)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	if !bytes.Equal(Render(), Render()) {
+		t.Fatal("Render is not deterministic")
+	}
+}
+
+// TestCommittedDocIsFresh is the local twin of CI's
+// `git diff --exit-code docs/ALGORITHMS.md` freshness gate: the committed
+// file must match a fresh render byte for byte.
+func TestCommittedDocIsFresh(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "docs", "ALGORITHMS.md"))
+	if err != nil {
+		t.Fatalf("read committed doc: %v", err)
+	}
+	if !bytes.Equal(committed, Render()) {
+		t.Fatal("docs/ALGORITHMS.md is stale; run `make docs-algorithms`")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ALGORITHMS.md")
+	if err := run([]string{"-out", path}, os.Stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !bytes.Equal(got, Render()) {
+		t.Fatal("file contents differ from Render output")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-out", "-"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), Render()) {
+		t.Fatal("stdout contents differ from Render output")
+	}
+}

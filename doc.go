@@ -29,4 +29,12 @@
 // per-iteration h-index convergence (with the Theorem-1 early-stop
 // trigger), algorithm counters, and parallel-runtime work counters. A nil
 // Options.Trace keeps every solver on its untraced fast path. See Trace.
+//
+// Every algorithm SolveUDS and SolveDDS accept comes from one pluggable
+// solver registry, queryable at runtime: Algorithms returns the catalog
+// (name, guarantee grade and fine print, paper mapping, trace columns),
+// DefaultAlgorithm and DegradationLadder the derived policy views, and
+// ValidateAlgorithm the structured *AlgorithmError (wrapping
+// ErrUnknownAlgorithm) for a bad name. The rendered catalog lives in
+// docs/ALGORITHMS.md, generated from the same registry by cmd/dsddocs.
 package dsd

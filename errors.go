@@ -4,9 +4,48 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 
 	"repro/internal/parallel"
 )
+
+// ErrUnknownAlgorithm is the sentinel wrapped by SolveUDS, SolveDDS, and
+// ValidateAlgorithm when the algorithm name is not registered for the
+// problem family. The concrete error in the chain is an *AlgorithmError
+// carrying the rejected name and the family's valid names, so callers can
+// render a precise message while switching on
+// errors.Is(err, dsd.ErrUnknownAlgorithm).
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+// AlgorithmError is the concrete error behind ErrUnknownAlgorithm.
+type AlgorithmError struct {
+	// Problem is the family the lookup ran against.
+	Problem Problem
+	// Algorithm is the rejected name.
+	Algorithm string
+	// Valid lists the family's registered names in presentation order.
+	Valid []string
+	// Grades carries the guarantee grade of each Valid entry ("exact",
+	// "1+eps", "2-approx", "heuristic"), same order, so the rendered
+	// message names each alternative with its guarantee. It may be left
+	// nil by hand-constructed errors; Error falls back to names alone.
+	Grades []string
+}
+
+func (e *AlgorithmError) Error() string {
+	valid := e.Valid
+	if len(e.Grades) == len(e.Valid) {
+		valid = make([]string, len(e.Valid))
+		for i, name := range e.Valid {
+			valid[i] = name + " (" + e.Grades[i] + ")"
+		}
+	}
+	return fmt.Sprintf("unknown %s algorithm %q (valid: %s)",
+		strings.ToUpper(string(e.Problem)), e.Algorithm, strings.Join(valid, ", "))
+}
+
+// Unwrap links the chain to ErrUnknownAlgorithm.
+func (e *AlgorithmError) Unwrap() error { return ErrUnknownAlgorithm }
 
 // ErrInternal is the sentinel wrapped by SolveUDS and SolveDDS when a solver
 // panics — a bug in this library (or an injected fault), never a property of

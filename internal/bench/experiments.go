@@ -10,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/kclique"
+	"repro/internal/solver"
 	"repro/internal/truss"
 	"repro/internal/uds"
 )
@@ -17,19 +18,36 @@ import (
 // udsAlgo is one entry of the Exp-1 lineup.
 type udsAlgo struct {
 	name string
-	run  func(g *graph.Undirected, p int) uds.Result
+	run  func(g *graph.Undirected, p int) solver.Result
 }
 
-// udsLineup returns the paper's five compared UDS algorithms with its
-// parameter settings (PFW ε=1 → default iteration budget; PBU ε=0.5).
-func udsLineup() []udsAlgo {
-	return []udsAlgo{
-		{"PFW", func(g *graph.Undirected, p int) uds.Result { return uds.PFW(g, 0, p) }},
-		{"PBU", func(g *graph.Undirected, p int) uds.Result { return uds.PBU(g, 0.5, p) }},
-		{"Local", uds.Local},
-		{"PKC", uds.PKC},
-		{"PKMC", uds.PKMC},
+// resolveUDS turns registry names into runnable lineup entries. The zero
+// Params hit each solver's registered defaults — the paper's settings
+// (PFW ε=1 → default iteration budget; PBU ε=0.5). An unregistered name
+// panics: the lineup is wired at build time and a typo should fail the
+// first run, not silently drop a bar from a figure.
+func resolveUDS(names ...string) []udsAlgo {
+	out := make([]udsAlgo, 0, len(names))
+	for _, n := range names {
+		d, ok := solver.Lookup(solver.KindUDS, n)
+		if !ok {
+			panic("bench: UDS algorithm not registered: " + n)
+		}
+		out = append(out, udsAlgo{name: d.Display, run: func(g *graph.Undirected, p int) solver.Result {
+			r, err := d.SolveUDS(nil, g, solver.Params{Workers: p})
+			if err != nil {
+				panic("bench: " + d.Name + ": " + err.Error())
+			}
+			return r
+		}})
 	}
+	return out
+}
+
+// udsLineup returns the paper's five compared UDS algorithms, resolved
+// from the solver registry.
+func udsLineup() []udsAlgo {
+	return resolveUDS("pfw", "pbu", "local", "pkc", "pkmc")
 }
 
 // ddsAlgo is one entry of the Exp-5 lineup.
@@ -38,17 +56,32 @@ type ddsAlgo struct {
 	run  func(d *graph.Directed, p int, budget time.Duration) dds.Result
 }
 
-// ddsLineup returns the paper's six compared DDS algorithms (PBD with
-// δ=2, ε=1; PFW with its default iteration budget).
-func ddsLineup() []ddsAlgo {
-	return []ddsAlgo{
-		{"PBS", dds.PBS},
-		{"PFKS", dds.PFKS},
-		{"PFW", func(d *graph.Directed, p int, b time.Duration) dds.Result { return dds.PFW(d, 0, p, b) }},
-		{"PBD", func(d *graph.Directed, p int, b time.Duration) dds.Result { return dds.PBD(d, 2, 1, p, b) }},
-		{"PXY", func(d *graph.Directed, p int, _ time.Duration) dds.Result { return dds.PXY(d, p) }},
-		{"PWC", func(d *graph.Directed, p int, _ time.Duration) dds.Result { return dds.PWC(d, p) }},
+// resolveDDS is resolveUDS's directed twin; the budget rides through to
+// the budgeted baselines.
+func resolveDDS(names ...string) []ddsAlgo {
+	out := make([]ddsAlgo, 0, len(names))
+	for _, n := range names {
+		d, ok := solver.Lookup(solver.KindDDS, n)
+		if !ok {
+			panic("bench: DDS algorithm not registered: " + n)
+		}
+		out = append(out, ddsAlgo{name: d.Display, run: func(g *graph.Directed, p int, budget time.Duration) dds.Result {
+			r, err := d.SolveDDS(nil, g, solver.Params{Workers: p, Budget: budget})
+			if err != nil {
+				panic("bench: " + d.Name + ": " + err.Error())
+			}
+			return dds.Result{Algorithm: r.Algorithm, S: r.S, T: r.T, Density: r.Density,
+				XStar: r.XStar, YStar: r.YStar, Iterations: r.Iterations, TimedOut: r.TimedOut}
+		}})
 	}
+	return out
+}
+
+// ddsLineup returns the paper's six compared DDS algorithms (PBD's
+// registered defaults are the paper's δ=2, ε=1), resolved from the solver
+// registry.
+func ddsLineup() []ddsAlgo {
+	return resolveDDS("pbs", "pfks", "pfw", "pbd", "pxy", "pwc")
 }
 
 // Datasets regenerates Tables 4 and 5: materialize each scale model and
@@ -80,7 +113,7 @@ func Exp1(cfg Config) []Row {
 	for _, ds := range gen.UndirectedCatalog() {
 		g := ds.BuildUndirected(cfg.Scale)
 		for _, a := range udsLineup() {
-			var res uds.Result
+			var res solver.Result
 			sec := timeIt(func() { res = a.run(g, cfg.Workers) })
 			rows = append(rows, Row{
 				Experiment: "exp1", Dataset: ds.Abbr, Algorithm: a.name,
@@ -103,7 +136,7 @@ func Exp2(cfg Config) []Row {
 			if a.name != "PKC" && a.name != "Local" && a.name != "PKMC" {
 				continue
 			}
-			var res uds.Result
+			var res solver.Result
 			sec := timeIt(func() { res = a.run(g, cfg.Workers) })
 			rows = append(rows, Row{
 				Experiment: "exp2", Dataset: ds.Abbr, Algorithm: a.name,
@@ -126,7 +159,7 @@ func Exp3(cfg Config) []Row {
 				if a.name == "PFW" {
 					continue // dominated by orders of magnitude; Fig. 6 timing detail is about the core-based methods and PBU
 				}
-				var res uds.Result
+				var res solver.Result
 				sec := timeIt(func() { res = a.run(g, p) })
 				rows = append(rows, Row{
 					Experiment: "exp3", Dataset: ds.Abbr, Algorithm: a.name,
@@ -149,7 +182,7 @@ func Exp4(cfg Config) []Row {
 		for _, frac := range cfg.Fractions {
 			sub := g.SampleEdges(frac, 7700+int64(frac*100))
 			for _, a := range udsLineup() {
-				var res uds.Result
+				var res solver.Result
 				sec := timeIt(func() { res = a.run(sub, cfg.Workers) })
 				rows = append(rows, Row{
 					Experiment: "exp4", Dataset: ds.Abbr, Algorithm: a.name,
@@ -260,9 +293,11 @@ func Exp8(cfg Config) []Row {
 }
 
 // Ratios measures the empirical approximation ratio ρ*/ρ(found) of every
-// approximation algorithm against the exact flow solvers on small planted
-// instances — the effectiveness check the paper cites from prior work
-// (its §VI-A Remark).
+// registered non-exact algorithm against the exact flow solvers on small
+// planted instances — the effectiveness check the paper cites from prior
+// work (its §VI-A Remark). The lineup is the solver registry minus the
+// exact-grade entries, so a newly registered approximation shows up here
+// with no bench change.
 func Ratios(cfg Config) []Row {
 	cfg = cfg.withDefaults()
 	var rows []Row
@@ -271,10 +306,16 @@ func Ratios(cfg Config) []Row {
 	base := gen.ErdosRenyi(400, 1200, 31)
 	g, _ := gen.PlantClique(base, 14, 32)
 	opt := uds.Exact(g).Density
-	for _, a := range udsLineup() {
-		res := a.run(g, cfg.Workers)
+	for _, d := range solver.List(solver.KindUDS) {
+		if d.Grade == solver.GradeExact {
+			continue
+		}
+		res, err := d.SolveUDS(nil, g, solver.Params{Workers: cfg.Workers})
+		if err != nil || res.Density <= 0 {
+			continue
+		}
 		rows = append(rows, Row{
-			Experiment: "ratios", Dataset: "clique", Algorithm: a.name,
+			Experiment: "ratios", Dataset: "clique", Algorithm: d.Display,
 			Density: res.Density,
 			Extra:   map[string]int64{"ratio_x1000": int64(1000 * opt / res.Density)},
 		})
@@ -286,16 +327,57 @@ func Ratios(cfg Config) []Row {
 	dbase := gen.ErdosRenyiDirected(80, 320, 33)
 	d, _, _ := gen.PlantBiclique(dbase, 7, 10, 34)
 	dopt := dds.Exact(d).Density
-	for _, a := range ddsLineup() {
-		res := a.run(d, cfg.Workers, cfg.Budget)
-		if res.Density <= 0 {
+	for _, desc := range solver.List(solver.KindDDS) {
+		if desc.Grade == solver.GradeExact {
+			continue
+		}
+		res, err := desc.SolveDDS(nil, d, solver.Params{Workers: cfg.Workers, Budget: cfg.Budget})
+		if err != nil || res.Density <= 0 {
 			continue
 		}
 		rows = append(rows, Row{
-			Experiment: "ratios", Dataset: "biclique", Algorithm: a.name,
+			Experiment: "ratios", Dataset: "biclique", Algorithm: desc.Display,
 			Density: res.Density, TimedOut: res.TimedOut,
 			Extra: map[string]int64{"ratio_x1000": int64(1000 * dopt / res.Density)},
 		})
+	}
+	return rows
+}
+
+// Accuracy produces the accuracy-versus-time trajectories of the
+// convex-programming solvers: FISTA and FracPeel against GreedyPP across
+// growing iteration budgets on the planted-clique instance, each row
+// carrying wall time, achieved density, and the ratio against the exact
+// optimum — the Zhou-et-al-style convergence comparison the registry's
+// (1+ε) entries are judged by. FISTA runs with a negligible ε so the
+// iteration budget, not the early stop, ends each run.
+func Accuracy(cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	base := gen.ErdosRenyi(400, 1200, 31)
+	g, _ := gen.PlantClique(base, 14, 32)
+	opt := uds.Exact(g).Density
+	var rows []Row
+	for _, name := range []string{"fista", "fracpeel", "greedypp"} {
+		d, ok := solver.Lookup(solver.KindUDS, name)
+		if !ok {
+			panic("bench: accuracy algorithm not registered: " + name)
+		}
+		for _, iters := range []int{5, 10, 25, 50, 100} {
+			var res solver.Result
+			var err error
+			sec := timeIt(func() {
+				res, err = d.SolveUDS(nil, g, solver.Params{Workers: cfg.Workers, Iterations: iters, Epsilon: 1e-9})
+			})
+			if err != nil {
+				panic("bench: " + d.Name + ": " + err.Error())
+			}
+			rows = append(rows, Row{
+				Experiment: "accuracy", Dataset: "clique", Algorithm: d.Display,
+				Param: "iters=" + strconv.Itoa(iters), Seconds: sec,
+				Density: res.Density, Iterations: res.Iterations,
+				Extra: map[string]int64{"ratio_x1000": int64(1000 * opt / res.Density)},
+			})
+		}
 	}
 	return rows
 }

@@ -14,7 +14,7 @@ const (
 	CodeUnknownGraph     = "unknown_graph"
 	CodeGraphExists      = "graph_exists"
 	CodeGraphBusy        = "graph_busy"
-	CodeUnknownAlgo      = "unknown_algo"
+	CodeUnknownAlgorithm = "unknown_algorithm"
 	CodeWrongFamily      = "wrong_family"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeCanceled         = "canceled"
@@ -48,7 +48,7 @@ func Codes() []string {
 		CodeUnknownGraph,
 		CodeGraphExists,
 		CodeGraphBusy,
-		CodeUnknownAlgo,
+		CodeUnknownAlgorithm,
 		CodeWrongFamily,
 		CodeDeadlineExceeded,
 		CodeCanceled,

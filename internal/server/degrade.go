@@ -34,44 +34,41 @@ type degradeRung struct {
 	guarantee string
 }
 
-// degradeLadder returns the fallback rungs for an exact-grade algorithm,
-// nil for anything already approximate (approximations are never degraded
-// further — they are the floor). The UDS ladder tries GreedyPP first
-// (near-exact in practice, 2-approx worst case) and PKMC as the floor
-// (the paper's Algorithm 2, 2-approx via the k*-core); DDS falls to PWC
-// (Algorithms 3-4, 2-approx via the w*-induced subgraph).
+// degradeLadder returns the fallback rungs for a solver whose descriptor
+// is marked Degradable in the registry, nil for anything else
+// (approximations are never degraded further — they are the floor). Both
+// the degradable set and the rung order come straight from the registered
+// descriptors: rungs are the family's DegradeRank-carrying solvers in
+// ascending rank order, each surfacing its registered guarantee on
+// degraded responses. Registering a new solver updates this policy with
+// no change here.
 func degradeLadder(family string, algo dsd.Algo) []degradeRung {
-	switch family {
-	case "uds":
-		switch algo {
-		case dsd.AlgoExact, dsd.AlgoExactPruned, dsd.AlgoExactEps:
-			return []degradeRung{
-				{dsd.AlgoGreedyPP, "2-approximation (iterated peeling)"},
-				{dsd.AlgoPKMC, "2-approximation (k*-core)"},
-			}
-		}
-	case "dds":
-		switch algo {
-		case dsd.AlgoExactDDS, dsd.AlgoExactPrunedDDS, dsd.AlgoBrute:
-			return []degradeRung{
-				{dsd.AlgoPWC, "2-approximation (w*-induced subgraph)"},
-			}
+	problem := dsd.Problem(family)
+	degradable := false
+	for _, info := range dsd.Algorithms(problem) {
+		if info.Name == algo {
+			degradable = info.Degradable
+			break
 		}
 	}
-	return nil
+	if !degradable {
+		return nil
+	}
+	var rungs []degradeRung
+	for _, info := range dsd.DegradationLadder(problem) {
+		rungs = append(rungs, degradeRung{algo: info.Name, guarantee: info.Guarantee})
+	}
+	return rungs
 }
 
 // effectiveAlgo resolves the wire algorithm name to the one the solver
-// will actually run (the family default when empty) — the estimator and
-// the degradation ladder key on this.
+// will actually run (the registry's family default when empty) — the
+// estimator and the degradation ladder key on this.
 func effectiveAlgo(family, algo string) dsd.Algo {
 	if algo != "" {
 		return dsd.Algo(algo)
 	}
-	if family == "dds" {
-		return dsd.AlgoPWC
-	}
-	return dsd.AlgoPKMC
+	return dsd.DefaultAlgorithm(dsd.Problem(family))
 }
 
 // planSolve applies the degradation policy to one solve request: given the

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"testing"
 	"time"
+
+	"repro"
 )
 
 // seedEstimate plants one latency observation so the degradation policy has
@@ -32,8 +34,8 @@ func TestDegradeDowngradesExact(t *testing.T) {
 	if !resp.Degraded || resp.DegradedFrom != "exact" {
 		t.Fatalf("degraded/from = %v/%q, want true/\"exact\"", resp.Degraded, resp.DegradedFrom)
 	}
-	if resp.Guarantee != "2-approximation (iterated peeling)" {
-		t.Fatalf("guarantee = %q, want the GreedyPP bound", resp.Guarantee)
+	if want := dsd.DegradationLadder(dsd.ProblemUDS)[0].Guarantee; resp.Guarantee != want {
+		t.Fatalf("guarantee = %q, want the first rung's registered bound %q", resp.Guarantee, want)
 	}
 	if resp.Density != 1.5 {
 		t.Fatalf("degraded density = %v, want 1.5 (the approximation is exact on a near-clique)", resp.Density)
@@ -56,8 +58,8 @@ func TestDegradeFallsToFloor(t *testing.T) {
 	if got := doJSON(t, "POST", ts.URL+"/solve/uds", req, &resp); got != http.StatusOK {
 		t.Fatalf("degradable solve = %d, want 200", got)
 	}
-	if !resp.Degraded || resp.Guarantee != "2-approximation (k*-core)" {
-		t.Fatalf("degraded/guarantee = %v/%q, want the PKMC floor", resp.Degraded, resp.Guarantee)
+	if want := dsd.DegradationLadder(dsd.ProblemUDS)[1].Guarantee; !resp.Degraded || resp.Guarantee != want {
+		t.Fatalf("degraded/guarantee = %v/%q, want the PKMC floor %q", resp.Degraded, resp.Guarantee, want)
 	}
 }
 
@@ -140,8 +142,8 @@ func TestDegradeDDSLadder(t *testing.T) {
 	if got := doJSON(t, "POST", ts.URL+"/solve/dds", req, &resp); got != http.StatusOK {
 		t.Fatalf("degradable DDS solve = %d, want 200", got)
 	}
-	if !resp.Degraded || resp.DegradedFrom != "exact" || resp.Guarantee != "2-approximation (w*-induced subgraph)" {
-		t.Fatalf("degraded/from/guarantee = %v/%q/%q, want the PWC rung", resp.Degraded, resp.DegradedFrom, resp.Guarantee)
+	if want := dsd.DegradationLadder(dsd.ProblemDDS)[0].Guarantee; !resp.Degraded || resp.DegradedFrom != "exact" || resp.Guarantee != want {
+		t.Fatalf("degraded/from/guarantee = %v/%q/%q, want the PWC rung %q", resp.Degraded, resp.DegradedFrom, resp.Guarantee, want)
 	}
 }
 

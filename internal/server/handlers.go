@@ -250,16 +250,6 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) *apiErr
 	return nil
 }
 
-// validAlgo reports whether name is in the family's algorithm list.
-func validAlgo(name string, family []dsd.Algo) bool {
-	for _, a := range family {
-		if dsd.Algo(name) == a {
-			return true
-		}
-	}
-	return name == ""
-}
-
 // cacheKey canonicalizes a solve request. The graph version scopes the key
 // to the exact graph state — for live graphs the version comes from the
 // same Snapshot call as the solved graph, so key and data can never alias
@@ -306,6 +296,10 @@ func (s *Server) solveContext(r *http.Request, o SolveOptions) (context.Context,
 // panic counter — the request fails, the process keeps serving.
 func (s *Server) solveError(ctx context.Context, err error) *apiError {
 	switch {
+	case errors.Is(err, dsd.ErrUnknownAlgorithm):
+		// Normally caught by the up-front ValidateAlgorithm check; this
+		// covers dispatch paths that reach the solver directly.
+		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgorithm, message: err.Error()}
 	case errors.Is(err, dsd.ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded):
 		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
 			message: "solver exceeded the request deadline: " + err.Error()}
@@ -375,8 +369,8 @@ func (s *Server) handleSolveUDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if e.Directed {
 		return &apiError{status: http.StatusBadRequest, code: CodeWrongFamily, message: fmt.Sprintf("graph %q is directed; use /solve/dds", e.Name)}
 	}
-	if !validAlgo(req.Algo, dsd.UDSAlgorithms()) {
-		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown UDS algorithm %q (valid: %v)", req.Algo, dsd.UDSAlgorithms())}
+	if err := dsd.ValidateAlgorithm(dsd.ProblemUDS, dsd.Algo(req.Algo)); err != nil {
+		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgorithm, message: err.Error()}
 	}
 	// Live graphs solve against an immutable snapshot: the (graph, version)
 	// pair is taken atomically, so concurrent mutations neither perturb the
@@ -521,8 +515,8 @@ func (s *Server) handleSolveDDS(w http.ResponseWriter, r *http.Request) *apiErro
 	if !e.Directed {
 		return &apiError{status: http.StatusBadRequest, code: CodeWrongFamily, message: fmt.Sprintf("graph %q is undirected; use /solve/uds", e.Name)}
 	}
-	if !validAlgo(req.Algo, dsd.DDSAlgorithms()) {
-		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgo, message: fmt.Sprintf("unknown DDS algorithm %q (valid: %v)", req.Algo, dsd.DDSAlgorithms())}
+	if err := dsd.ValidateAlgorithm(dsd.ProblemDDS, dsd.Algo(req.Algo)); err != nil {
+		return &apiError{status: http.StatusBadRequest, code: CodeUnknownAlgorithm, message: err.Error()}
 	}
 	solveAlgo := dsd.Algo(req.Algo)
 	run, degradedFrom, guarantee, aerr := s.planSolve("dds", e.Name,

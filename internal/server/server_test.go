@@ -253,8 +253,8 @@ func TestSolveErrors(t *testing.T) {
 	}{
 		{"/solve/uds", SolveRequest{Graph: "nope"}, http.StatusNotFound, CodeUnknownGraph},
 		{"/solve/dds", SolveRequest{Graph: "nope"}, http.StatusNotFound, CodeUnknownGraph},
-		{"/solve/uds", SolveRequest{Graph: "clique", Algo: "dijkstra"}, http.StatusBadRequest, CodeUnknownAlgo},
-		{"/solve/dds", SolveRequest{Graph: "biclique", Algo: "pkmc"}, http.StatusBadRequest, CodeUnknownAlgo},
+		{"/solve/uds", SolveRequest{Graph: "clique", Algo: "dijkstra"}, http.StatusBadRequest, CodeUnknownAlgorithm},
+		{"/solve/dds", SolveRequest{Graph: "biclique", Algo: "pkmc"}, http.StatusBadRequest, CodeUnknownAlgorithm},
 		{"/solve/uds", SolveRequest{Graph: "biclique"}, http.StatusBadRequest, CodeWrongFamily},
 		{"/solve/dds", SolveRequest{Graph: "clique"}, http.StatusBadRequest, CodeWrongFamily},
 	}

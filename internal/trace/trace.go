@@ -24,6 +24,20 @@ type Iteration struct {
 	EarlyStop bool  `json:"early_stop"` // this sweep satisfied the Theorem-1 criterion
 }
 
+// Convergence is one iteration of a convex-programming solver (FISTA,
+// fractional peeling over Frank–Wolfe loads): the best primal density
+// found so far (a feasible subgraph, so a lower bound on ρ*), the best
+// dual bound so far (the smallest max-load seen over any fractional
+// orientation, an upper bound on ρ*), and their difference. Primal and
+// Dual are both best-so-far, so Gap is non-increasing by construction —
+// the per-iteration certificate the duality-gap early stop watches.
+type Convergence struct {
+	Index  int     `json:"index"`  // 1-based iteration number
+	Primal float64 `json:"primal"` // best feasible density so far (lower bound on ρ*)
+	Dual   float64 `json:"dual"`   // best max-load bound so far (upper bound on ρ*)
+	Gap    float64 `json:"gap"`    // Dual - Primal
+}
+
 // ParallelStats is a delta of the internal/parallel runtime counters over
 // one solve: how many parallel regions ran, how many work chunks were
 // claimed, how many index items they covered, how many worker goroutines
@@ -52,6 +66,11 @@ type Trace struct {
 	// the max h-max vertex count for the core solvers, the post-warm-start
 	// arc count for PWC.
 	PeakCandidates int64 `json:"peak_candidates,omitempty"`
+	// Convergences is the per-iteration duality-gap record of the
+	// convex-programming solvers (FISTA, fractional peeling): one row per
+	// gradient/Frank–Wolfe step with the best-so-far primal and dual
+	// bounds on ρ*.
+	Convergences []Convergence `json:"convergence,omitempty"`
 	// Counters holds algorithm-specific totals (e.g. PWC's Table-7 arc
 	// counts: arcs_input, arcs_after_warm_start, arcs_at_wstar, wstar).
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -106,6 +125,20 @@ func (t *Trace) AddIteration(it Iteration) {
 	if it.EarlyStop {
 		t.EarlyStop = true
 	}
+}
+
+// AddConvergence appends one duality-gap row, stamping its 1-based index.
+// Nil-safe.
+func (t *Trace) AddConvergence(primal, dual float64) {
+	if t == nil {
+		return
+	}
+	t.Convergences = append(t.Convergences, Convergence{
+		Index:  len(t.Convergences) + 1,
+		Primal: primal,
+		Dual:   dual,
+		Gap:    dual - primal,
+	})
 }
 
 // Counter adds v to a named algorithm-specific counter. Nil-safe.

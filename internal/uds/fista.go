@@ -1,0 +1,347 @@
+package uds
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/cancel"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// DefaultFISTAIterations is the gradient-iteration budget used when the
+// caller passes iters <= 0. FISTA's O(1/k²) rate reaches a small duality
+// gap on the benchmark graphs well inside this budget; the early stop
+// below usually fires first.
+const DefaultFISTAIterations = 200
+
+// DefaultFISTAEpsilon is the relative duality-gap early-stop threshold
+// used when the caller passes eps <= 0: iteration ends once
+// dual - primal <= eps * primal, certifying a (1+eps)-approximation.
+const DefaultFISTAEpsilon = 0.01
+
+// FISTA solves UDS by accelerated projected gradient descent on the
+// edge-load splitting, following the Harb–Quanrud–Chekuri framing of
+// densest subgraph as minimizing the squared vertex loads Σ r(v)² over
+// fractional edge orientations. See FISTACtx.
+func FISTA(g *graph.Undirected, iters int, eps float64, p int) Result {
+	r, _ := FISTACtx(nil, g, iters, eps, p, nil)
+	return r
+}
+
+// FISTACtx runs FISTA under cooperative cancellation and optional tracing.
+//
+// Each edge carries a split x[i] in [0,1] (the share assigned to its U
+// endpoint); the objective f(x) = Σ_v r(v)² is smooth with Lipschitz
+// gradient constant at most 4Δ, so the step size is fixed at 1/(4Δ).
+// Every iteration takes a gradient step from the momentum point, projects
+// onto the box, and updates the Nesterov momentum sequence
+// t_{k+1} = (1+√(1+4t_k²))/2.
+//
+// Per iteration the solver maintains a primal/dual certificate: the best
+// density of any prefix-rounded subgraph seen so far (feasible, so a lower
+// bound on ρ*) and the smallest max-load seen over any iterate (an upper
+// bound on ρ* by LP duality). Both are best-so-far, so the recorded gap is
+// non-increasing; iteration stops early once gap <= eps·primal, and the
+// final answer is the better of prefix rounding and fractional peeling of
+// the last iterate.
+func FISTACtx(ctx context.Context, g *graph.Undirected, iters int, eps float64, p int, tr *trace.Trace) (Result, error) {
+	tr.SetAlgorithm("FISTA")
+	n := g.N()
+	if n == 0 {
+		return Result{Algorithm: "FISTA"}, nil
+	}
+	if iters <= 0 {
+		iters = DefaultFISTAIterations
+	}
+	if eps <= 0 {
+		eps = DefaultFISTAEpsilon
+	}
+	edges := g.Edges()
+	m := len(edges)
+	if m == 0 {
+		return Result{Algorithm: "FISTA", Vertices: []int32{0}}, nil
+	}
+	var maxDeg int32
+	for v := 0; v < n; v++ {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	step := 1.0 / (4.0 * float64(maxDeg))
+
+	x := make([]float64, m)     // current feasible iterate
+	xPrev := make([]float64, m) // previous iterate (momentum difference)
+	y := make([]float64, m)     // momentum point the gradient is taken at
+	for i := range x {
+		x[i], xPrev[i], y[i] = 0.5, 0.5, 0.5
+	}
+	r := make([]float64, n)
+	tMom := 1.0
+	bestLB, bestUB := -1.0, math.Inf(1)
+	var bestSet []int32
+	done := 0
+
+	endIters := tr.StartPhase("fista-iterations")
+	for k := 0; k < iters; k++ {
+		if err := cancel.Check(ctx); err != nil {
+			endIters()
+			return Result{}, err
+		}
+		// Gradient step at the momentum point: ∂f/∂x_i = 2(r(U) - r(V)).
+		recomputeLoads(edges, y, r, p)
+		parallel.For(m, p, func(i int) {
+			e := edges[i]
+			v := y[i] - step*2*(r[e.U]-r[e.V])
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			xPrev[i] = v // xPrev becomes the new iterate; swapped below
+		})
+		x, xPrev = xPrev, x
+		tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
+		mom := (tMom - 1) / tNext
+		parallel.For(m, p, func(i int) {
+			y[i] = x[i] + mom*(x[i]-xPrev[i])
+		})
+		tMom = tNext
+		done = k + 1
+
+		// Certificate from the feasible iterate x (not the momentum point,
+		// which can sit outside the box before projection).
+		recomputeLoads(edges, x, r, p)
+		if ub := maxLoad(r); ub < bestUB {
+			bestUB = ub
+		}
+		if set, lb := densestPrefix(edges, r, n); lb > bestLB {
+			bestLB = lb
+			bestSet = set
+		}
+		tr.AddConvergence(bestLB, bestUB)
+		if bestUB-bestLB <= eps*bestLB {
+			tr.Counter("fista_early_stop", 1)
+			break
+		}
+	}
+	endIters()
+
+	// r currently holds the loads of the final iterate x.
+	endPeel := tr.StartPhase("fractional-peeling")
+	set, density := fractionalPeel(g, edges, x, r)
+	endPeel()
+	if density > bestLB {
+		bestLB, bestSet = density, set
+	}
+	return Result{
+		Algorithm:  "FISTA",
+		Vertices:   bestSet,
+		Density:    g.InducedDensity(bestSet),
+		Iterations: done,
+	}, nil
+}
+
+// FracPeel solves UDS by running the Frank–Wolfe load sweeps of PFW and
+// rounding the resulting fractional orientation with true fractional
+// peeling instead of the prefix sweep. See FracPeelCtx.
+func FracPeel(g *graph.Undirected, iters, p int) Result {
+	r, _ := FracPeelCtx(nil, g, iters, p, nil)
+	return r
+}
+
+// FracPeelCtx is FracPeel under cooperative cancellation and optional
+// tracing. Frank–Wolfe produces edge shares alpha and vertex loads; the
+// fractional-peeling rounding then repeatedly deletes the vertex with the
+// smallest remaining load, crediting each deleted edge's share back to the
+// surviving endpoint, and returns the densest intermediate subgraph. The
+// rounding dominates the prefix sweep (it re-ranks vertices as loads drop),
+// so FracPeel's density is never below PFW's on the same load vector; the
+// answer returned is the better of the two roundings.
+func FracPeelCtx(ctx context.Context, g *graph.Undirected, iters, p int, tr *trace.Trace) (Result, error) {
+	tr.SetAlgorithm("FracPeel")
+	n := g.N()
+	if n == 0 {
+		return Result{Algorithm: "FracPeel"}, nil
+	}
+	if iters <= 0 {
+		iters = DefaultPFWIterations
+	}
+	edges := g.Edges()
+	endFW := tr.StartPhase("frank-wolfe")
+	alpha, r, err := frankWolfeLoads(ctx, edges, n, iters, p, tr)
+	endFW()
+	if err != nil {
+		return Result{}, err
+	}
+	prefixSet, prefixDensity := densestPrefix(edges, r, n)
+	endPeel := tr.StartPhase("fractional-peeling")
+	set, density := fractionalPeel(g, edges, alpha, r)
+	endPeel()
+	if prefixDensity > density {
+		set = prefixSet
+	}
+	return Result{
+		Algorithm:  "FracPeel",
+		Vertices:   set,
+		Density:    g.InducedDensity(set),
+		Iterations: iters,
+	}, nil
+}
+
+// fractionalPeel rounds a fractional edge orientation (alpha[i] = share of
+// edges[i] on its U endpoint, r = the induced vertex loads) by simulating
+// the peel: repeatedly remove the vertex with the smallest current load,
+// and for each of its surviving edges subtract that edge's share from the
+// other endpoint's load. The returned set is the suffix of the removal
+// order with the highest edge density. Unlike the static prefix sweep this
+// re-ranks vertices as their neighborhoods thin out, which is what lets a
+// good fractional solution round to the exact optimum.
+func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64) (set []int32, density float64) {
+	n := g.N()
+	m := len(edges)
+	if n == 0 {
+		return nil, 0
+	}
+
+	// CSR incidence: edge indices per vertex.
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	inc := make([]int32, 2*m)
+	cursor := append([]int32(nil), deg[:n]...)
+	for i, e := range edges {
+		inc[cursor[e.U]] = int32(i)
+		cursor[e.U]++
+		inc[cursor[e.V]] = int32(i)
+		cursor[e.V]++
+	}
+
+	load := append([]float64(nil), r...)
+	removed := make([]bool, n)
+	edgeAlive := make([]bool, m)
+	for i := range edgeAlive {
+		edgeAlive[i] = true
+	}
+
+	h := make(loadHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h.push(int32(v), load[v])
+	}
+
+	order := make([]int32, 0, n)
+	edgesLeft := int64(m)
+	bestDensity := -1.0
+	bestRemoved := 0
+	for len(order) < n {
+		v, key, ok := h.pop()
+		if !ok {
+			break
+		}
+		if removed[v] || key != load[v] {
+			continue // stale entry; the fresher key is still queued
+		}
+		removed[v] = true
+		order = append(order, v)
+		for at := deg[v]; at < deg[v+1]; at++ {
+			i := inc[at]
+			if !edgeAlive[i] {
+				continue
+			}
+			edgeAlive[i] = false
+			edgesLeft--
+			e := edges[i]
+			other, share := e.V, 1-alpha[i]
+			if e.V == v {
+				other, share = e.U, alpha[i]
+			}
+			if !removed[other] {
+				load[other] -= share
+				h.push(other, load[other])
+			}
+		}
+		if rest := n - len(order); rest > 0 {
+			if d := float64(edgesLeft) / float64(rest); d > bestDensity {
+				bestDensity = d
+				bestRemoved = len(order)
+			}
+		}
+	}
+	if bestDensity < 0 {
+		// Only possible when every pop left an empty remainder (n == 1):
+		// fall back to the whole vertex set.
+		all := make([]int32, n)
+		for v := range all {
+			all[v] = int32(v)
+		}
+		return all, g.Density()
+	}
+	kept := make([]int32, 0, n-bestRemoved)
+	isRemoved := make([]bool, n)
+	for _, v := range order[:bestRemoved] {
+		isRemoved[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if !isRemoved[v] {
+			kept = append(kept, int32(v))
+		}
+	}
+	return kept, bestDensity
+}
+
+// loadHeap is a lazy min-heap of (vertex, load) pairs: updated loads are
+// pushed as new entries and stale ones are skipped at pop time by comparing
+// the stored key against the live load.
+type loadHeap []struct {
+	v   int32
+	key float64
+}
+
+func (h *loadHeap) push(v int32, key float64) {
+	*h = append(*h, struct {
+		v   int32
+		key float64
+	}{v, key})
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].key <= (*h)[i].key {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *loadHeap) pop() (v int32, key float64, ok bool) {
+	if len(*h) == 0 {
+		return 0, 0, false
+	}
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && (*h)[l].key < (*h)[smallest].key {
+			smallest = l
+		}
+		if r < len(*h) && (*h)[r].key < (*h)[smallest].key {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top.v, top.key, true
+}

@@ -2,11 +2,13 @@ package uds
 
 import (
 	"context"
+	"math"
 	"sort"
 
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // DefaultPFWIterations is the Frank–Wolfe iteration budget used when the
@@ -40,16 +42,38 @@ func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, err
 		iters = DefaultPFWIterations
 	}
 	edges := g.Edges()
+	_, r, err := frankWolfeLoads(ctx, edges, n, iters, p, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	set, _ := densestPrefix(edges, r, n)
+	return Result{
+		Algorithm:  "PFW",
+		Vertices:   set,
+		Density:    g.InducedDensity(set),
+		Iterations: iters,
+	}, nil
+}
+
+// frankWolfeLoads runs the Frank–Wolfe sweeps shared by PFW and FracPeel:
+// every iteration moves each edge's load toward its currently lighter
+// endpoint with the standard 2/(t+2) step. It returns the final edge
+// shares (alpha[i] = share of edges[i] on its U endpoint) and vertex
+// loads. With a live trace it also records one duality-gap convergence
+// row per sweep (best prefix-rounded density vs best max-load bound) —
+// the untraced path skips that extra work entirely.
+func frankWolfeLoads(ctx context.Context, edges []graph.Edge, n, iters, p int, tr *trace.Trace) (alpha, r []float64, err error) {
 	m := len(edges)
-	alpha := make([]float64, m) // share of edge i on edges[i].U
-	r := make([]float64, n)
+	alpha = make([]float64, m)
+	r = make([]float64, n)
 	for i := range alpha {
 		alpha[i] = 0.5
 	}
 	recomputeLoads(edges, alpha, r, p)
+	bestLB, bestUB := -1.0, math.Inf(1)
 	for t := 0; t < iters; t++ {
 		if err := cancel.Check(ctx); err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		gamma := 2.0 / float64(t+2)
 		parallel.For(m, p, func(i int) {
@@ -65,9 +89,22 @@ func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, err
 			alpha[i] = (1-gamma)*alpha[i] + gamma*target
 		})
 		recomputeLoads(edges, alpha, r, p)
+		if tr.Enabled() {
+			if ub := maxLoad(r); ub < bestUB {
+				bestUB = ub
+			}
+			if _, lb := densestPrefix(edges, r, n); lb > bestLB {
+				bestLB = lb
+			}
+			tr.AddConvergence(bestLB, bestUB)
+		}
 	}
+	return alpha, r, nil
+}
 
-	// Fractional peeling: densest prefix of the decreasing-load order.
+// densestPrefix rounds a fractional load vector the simple way: sweep
+// vertices in decreasing-load order and keep the densest prefix.
+func densestPrefix(edges []graph.Edge, r []float64, n int) (set []int32, density float64) {
 	order := make([]int32, n)
 	for v := range order {
 		order[v] = int32(v)
@@ -95,13 +132,20 @@ func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, err
 			bestLen = i + 1
 		}
 	}
-	set := append([]int32(nil), order[:bestLen]...)
-	return Result{
-		Algorithm:  "PFW",
-		Vertices:   set,
-		Density:    g.InducedDensity(set),
-		Iterations: iters,
-	}, nil
+	return append([]int32(nil), order[:bestLen]...), bestDensity
+}
+
+// maxLoad returns the largest vertex load — an upper bound on the optimal
+// density, since any subgraph's density is at most the maximum load of
+// any fractional edge orientation restricted to it.
+func maxLoad(r []float64) float64 {
+	var ub float64
+	for _, v := range r {
+		if v > ub {
+			ub = v
+		}
+	}
+	return ub
 }
 
 // recomputeLoads rebuilds r(v) = sum of edge shares in parallel. Loads are

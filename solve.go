@@ -2,7 +2,6 @@ package dsd
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"time"
 
@@ -10,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dds"
 	"repro/internal/kclique"
+	"repro/internal/solver"
 	"repro/internal/truss"
 	"repro/internal/uds"
 )
@@ -49,6 +49,15 @@ const (
 	// Options.Epsilon, default 0.1): O(log 1/ε) min-cuts seeded by the
 	// PKMC lower bound.
 	AlgoExactEps Algo = "exact-eps"
+	// AlgoFISTA is accelerated projected gradient descent on the edge-load
+	// splitting (Harb et al.): a (1+ε)-approximation certified per
+	// iteration by its primal/dual duality gap (ε from Options.Epsilon,
+	// default 0.01), with per-iteration convergence trace rows.
+	AlgoFISTA Algo = "fista"
+	// AlgoFracPeel runs PFW's Frank–Wolfe load sweeps and rounds the
+	// fractional orientation by true fractional peeling instead of the
+	// static prefix sweep — never below PFW on the same iteration budget.
+	AlgoFracPeel Algo = "fracpeel"
 )
 
 // DDS algorithms (the paper's Exp-5 lineup plus the exact solver).
@@ -121,18 +130,44 @@ type DirectedResult struct {
 	TimedOut   bool // a budgeted baseline hit Options.Budget
 }
 
-// UDSAlgorithms lists the valid SolveUDS algorithm names.
+// UDSAlgorithms lists the valid SolveUDS algorithm names, in the
+// registry's presentation order.
 func UDSAlgorithms() []Algo {
-	return []Algo{AlgoPKMC, AlgoLocal, AlgoPKC, AlgoBZ, AlgoCharikar, AlgoGreedyPP, AlgoPBU, AlgoPFW, AlgoExact, AlgoExactPruned, AlgoExactEps}
+	return algoNames(solver.KindUDS)
 }
 
-// DDSAlgorithms lists the valid SolveDDS algorithm names.
+// DDSAlgorithms lists the valid SolveDDS algorithm names, in the
+// registry's presentation order.
 func DDSAlgorithms() []Algo {
-	return []Algo{AlgoPWC, AlgoPXY, AlgoPBS, AlgoPFKS, AlgoPBD, AlgoPFWD, AlgoExactDDS, AlgoExactPrunedDDS, AlgoBrute}
+	return algoNames(solver.KindDDS)
+}
+
+func algoNames(kind solver.Kind) []Algo {
+	names := solver.Names(kind)
+	out := make([]Algo, len(names))
+	for i, n := range names {
+		out[i] = Algo(n)
+	}
+	return out
+}
+
+// params converts the public Options into the registry's solver-facing
+// parameter struct. budget arrives already tightened by any Ctx deadline.
+func params(opts Options, budget time.Duration) solver.Params {
+	return solver.Params{
+		Workers:    opts.Workers,
+		Epsilon:    opts.Epsilon,
+		Delta:      opts.Delta,
+		Iterations: opts.Iterations,
+		Budget:     budget,
+		Trace:      opts.Trace,
+	}
 }
 
 // SolveUDS runs the chosen undirected densest-subgraph algorithm. An empty
-// algo selects PKMC, the paper's contribution.
+// algo selects PKMC, the paper's contribution. Dispatch goes through the
+// solver registry (see Algorithms), so an unknown name returns an
+// *AlgorithmError wrapping ErrUnknownAlgorithm with the valid list attached.
 //
 // A panic inside the solver (including panics raised in parallel worker
 // goroutines, which internal/parallel re-raises here) is recovered and
@@ -140,48 +175,22 @@ func DDSAlgorithms() []Algo {
 // a failed call, not a dead process.
 func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
 	defer recoverToError(&err)
-	if algo == "" {
-		algo = AlgoPKMC
+	desc, ok := solver.Lookup(solver.KindUDS, string(algo))
+	if !ok {
+		return Result{}, unknownAlgorithm(ProblemUDS, algo)
 	}
 	ctx := opts.Ctx
 	if err := cancel.Check(ctx); err != nil {
 		return Result{}, err
 	}
-	p := opts.Workers
 	tr := opts.Trace
 	if tr != nil {
-		// Arm the runtime counters and time the whole solve; the traced
-		// algorithm branches below add their finer-grained phases inside.
+		// Arm the runtime counters and time the whole solve; traced
+		// solvers add their finer-grained phases inside.
 		finish := beginTrace(tr)
 		defer finish()
 	}
-	var r uds.Result
-	switch algo {
-	case AlgoPKMC:
-		r = uds.PKMCTraced(g.g, p, tr)
-	case AlgoLocal:
-		r = uds.LocalTraced(g.g, p, tr)
-	case AlgoPKC:
-		r = uds.PKC(g.g, p)
-	case AlgoBZ:
-		r = uds.BZ(g.g)
-	case AlgoCharikar:
-		r = uds.Charikar(g.g)
-	case AlgoGreedyPP:
-		r, err = uds.GreedyPPCtx(ctx, g.g, opts.Iterations)
-	case AlgoPBU:
-		r = uds.PBU(g.g, opts.Epsilon, p)
-	case AlgoPFW:
-		r, err = uds.PFWCtx(ctx, g.g, opts.Iterations, p)
-	case AlgoExact:
-		r, err = uds.ExactTraced(ctx, g.g, tr)
-	case AlgoExactPruned:
-		r, err = uds.ExactPrunedTraced(ctx, g.g, p, tr)
-	case AlgoExactEps:
-		r, err = uds.ExactEpsilonCtx(ctx, g.g, opts.Epsilon, p)
-	default:
-		return Result{}, fmt.Errorf("dsd: unknown UDS algorithm %q (valid: %v)", algo, UDSAlgorithms())
-	}
+	r, err := desc.SolveUDS(ctx, g.g, params(opts, opts.Budget))
 	if err != nil {
 		return Result{}, err
 	}
@@ -198,12 +207,13 @@ func SolveUDS(g *Graph, algo Algo, opts Options) (res Result, err error) {
 }
 
 // SolveDDS runs the chosen directed densest-subgraph algorithm. An empty
-// algo selects PWC, the paper's contribution. Solver panics are recovered
-// into ErrInternal exactly as in SolveUDS.
+// algo selects PWC, the paper's contribution. Unknown names and solver
+// panics surface exactly as in SolveUDS.
 func SolveDDS(d *Digraph, algo Algo, opts Options) (res DirectedResult, err error) {
 	defer recoverToError(&err)
-	if algo == "" {
-		algo = AlgoPWC
+	desc, ok := solver.Lookup(solver.KindDDS, string(algo))
+	if !ok {
+		return DirectedResult{}, unknownAlgorithm(ProblemDDS, algo)
 	}
 	ctx := opts.Ctx
 	if err := cancel.Check(ctx); err != nil {
@@ -221,35 +231,12 @@ func SolveDDS(d *Digraph, algo Algo, opts Options) (res DirectedResult, err erro
 			}
 		}
 	}
-	p := opts.Workers
 	tr := opts.Trace
 	if tr != nil {
 		finish := beginTrace(tr)
 		defer finish()
 	}
-	var r dds.Result
-	switch algo {
-	case AlgoPWC:
-		r = dds.PWCTraced(d.d, p, tr)
-	case AlgoPXY:
-		r = dds.PXY(d.d, p)
-	case AlgoPBS:
-		r, err = dds.PBSCtx(ctx, d.d, p, budget)
-	case AlgoPFKS:
-		r, err = dds.PFKSCtx(ctx, d.d, p, budget)
-	case AlgoPBD:
-		r, err = dds.PBDCtx(ctx, d.d, opts.Delta, opts.Epsilon, p, budget)
-	case AlgoPFWD:
-		r, err = dds.PFWCtx(ctx, d.d, opts.Iterations, p, budget)
-	case AlgoExactDDS:
-		r, err = dds.ExactCtx(ctx, d.d)
-	case AlgoExactPrunedDDS:
-		r, err = dds.ExactPrunedCtx(ctx, d.d, p)
-	case AlgoBrute:
-		r = dds.BruteForce(d.d)
-	default:
-		return DirectedResult{}, fmt.Errorf("dsd: unknown DDS algorithm %q (valid: %v)", algo, DDSAlgorithms())
-	}
+	r, err := desc.SolveDDS(ctx, d.d, params(opts, budget))
 	if err != nil {
 		return DirectedResult{}, err
 	}
