@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race chaos cover fuzz fuzz-smoke bench bench-json docs-algorithms live-smoke repro figures datasets examples serve clean
+.PHONY: all build vet lint lint-json test race chaos cover fuzz fuzz-smoke bench bench-json ratchet docs-algorithms live-smoke repro figures datasets examples serve clean
 
 # Packages with concurrency worth racing: the parallel runtime, both solver
 # families, the fault injector, graph I/O, the live-mutation subsystem, and
@@ -28,10 +28,12 @@ vet:
 
 # The project-specific static-analysis suite: proves the parallel
 # runtime's invariants (atomic captured writes, context polling, probe
-# registry, trace nil-safety, atomic/plain mixing) and the serving
-# tier's concurrency contracts (lock ordering, error-code registry,
-# goroutine lifecycle, expvar metric names). See DESIGN.md's "Static
-# analysis" section and `go run ./cmd/dsdlint -list`.
+# registry, trace nil-safety, atomic/plain mixing), the serving tier's
+# concurrency contracts (lock ordering, error-code registry, goroutine
+# lifecycle, expvar metric names), and the hot-path allocation discipline
+# (//dsd:hotpath kernels must not allocate and must carry zero-alloc
+# tests). See DESIGN.md's "Static analysis" section and
+# `go run ./cmd/dsdlint -list`.
 lint:
 	$(GO) run ./cmd/dsdlint ./...
 
@@ -88,6 +90,15 @@ bench:
 # along so CI can assert the FISTA/FracPeel rows exist in the schema.
 bench-json:
 	$(GO) run ./cmd/dsdbench -json -exp datasets,live,accuracy -scale 0.01
+
+# Perf ratchet: rerun the ratcheted experiments and compare wall time and
+# allocation counts row by row against a baseline report. BASELINE defaults
+# to the committed fallback; CI substitutes the previous run's cached
+# artifact. A baseline from a different machine, toolchain, or runtime
+# configuration is noted and skipped, never failed.
+BASELINE ?= bench/baseline.json
+ratchet:
+	$(GO) run ./cmd/dsdbench -json -exp accuracy -scale 0.01 -baseline $(BASELINE)
 
 # Regenerate docs/ALGORITHMS.md from the live solver registry. The intro
 # prose is hand-written in cmd/dsddocs/main.go; the tables are rendered

@@ -74,8 +74,10 @@ var dirAbbrs = []string{"AM", "AR", "BA", "DL", "WE", "TW"}
 // BenchmarkTable4_5_Datasets measures dataset materialization (generator
 // throughput) for the Tables 4/5 catalog.
 func BenchmarkTable4_5_Datasets(b *testing.B) {
+	b.ReportAllocs()
 	for _, ds := range append(gen.UndirectedCatalog(), gen.DirectedCatalog()...) {
 		b.Run(ds.Abbr, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if ds.Directed {
 					d := ds.BuildDirected(benchScale)
@@ -92,6 +94,7 @@ func BenchmarkTable4_5_Datasets(b *testing.B) {
 // BenchmarkFig5_UDSEfficiency is Exp-1: the five UDS algorithms on the six
 // undirected datasets at the default worker count.
 func BenchmarkFig5_UDSEfficiency(b *testing.B) {
+	b.ReportAllocs()
 	algos := []struct {
 		name string
 		run  func(g *graph.Undirected) uds.Result
@@ -106,6 +109,7 @@ func BenchmarkFig5_UDSEfficiency(b *testing.B) {
 		g := undGraph(b, abbr)
 		for _, a := range algos {
 			b.Run(abbr+"/"+a.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var density float64
 				for i := 0; i < b.N; i++ {
 					density = a.run(g).Density
@@ -119,9 +123,11 @@ func BenchmarkFig5_UDSEfficiency(b *testing.B) {
 // BenchmarkTable6_Iterations is Exp-2: iteration counts of the core-based
 // algorithms, attached as the "iters" metric.
 func BenchmarkTable6_Iterations(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range undAbbrs {
 		g := undGraph(b, abbr)
 		b.Run(abbr+"/PKC", func(b *testing.B) {
+			b.ReportAllocs()
 			var it int
 			for i := 0; i < b.N; i++ {
 				it = core.PKC(g, benchWorkers).Iterations
@@ -129,6 +135,7 @@ func BenchmarkTable6_Iterations(b *testing.B) {
 			b.ReportMetric(float64(it), "iters")
 		})
 		b.Run(abbr+"/Local", func(b *testing.B) {
+			b.ReportAllocs()
 			var it int
 			for i := 0; i < b.N; i++ {
 				it = core.Local(g, benchWorkers).Iterations
@@ -136,6 +143,7 @@ func BenchmarkTable6_Iterations(b *testing.B) {
 			b.ReportMetric(float64(it), "iters")
 		})
 		b.Run(abbr+"/PKMC", func(b *testing.B) {
+			b.ReportAllocs()
 			var it int
 			for i := 0; i < b.N; i++ {
 				it = core.PKMC(g, benchWorkers).Iterations
@@ -148,25 +156,30 @@ func BenchmarkTable6_Iterations(b *testing.B) {
 // BenchmarkFig6_UDSThreads is Exp-3: PKMC/PKC/Local/PBU versus the worker
 // count on the first three undirected datasets.
 func BenchmarkFig6_UDSThreads(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range undAbbrs[:3] {
 		g := undGraph(b, abbr)
 		for _, p := range []int{1, 2, 4, 8} {
 			b.Run(abbr+"/PKMC/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.PKMC(g, p)
 				}
 			})
 			b.Run(abbr+"/PKC/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.PKC(g, p)
 				}
 			})
 			b.Run(abbr+"/Local/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.Local(g, p)
 				}
 			})
 			b.Run(abbr+"/PBU/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					uds.PBU(g, 0.5, p)
 				}
@@ -178,27 +191,32 @@ func BenchmarkFig6_UDSThreads(b *testing.B) {
 // BenchmarkFig7_UDSScalability is Exp-4: PKMC and the strongest baselines
 // versus the sampled edge fraction on the SK and UN models.
 func BenchmarkFig7_UDSScalability(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range []string{"SK", "UN"} {
 		g := undGraph(b, abbr)
 		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 			sub := g.SampleEdges(frac, 7700)
 			label := abbr + "/" + itoa(int(frac*100)) + "pct"
 			b.Run(label+"/PKMC", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.PKMC(sub, benchWorkers)
 				}
 			})
 			b.Run(label+"/PKC", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.PKC(sub, benchWorkers)
 				}
 			})
 			b.Run(label+"/Local", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					core.Local(sub, benchWorkers)
 				}
 			})
 			b.Run(label+"/PBU", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					uds.PBU(sub, 0.5, benchWorkers)
 				}
@@ -216,6 +234,7 @@ const ddsBudget = 500 * time.Millisecond
 // directed datasets. PBS and PFKS run under ddsBudget and are expected to
 // exhaust it — their per-op time is a floor, not a finishing time.
 func BenchmarkFig8_DDSEfficiency(b *testing.B) {
+	b.ReportAllocs()
 	algos := []struct {
 		name string
 		run  func(d *graph.Directed) dds.Result
@@ -231,6 +250,7 @@ func BenchmarkFig8_DDSEfficiency(b *testing.B) {
 		d := dirGraph(b, abbr)
 		for _, a := range algos {
 			b.Run(abbr+"/"+a.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var res dds.Result
 				for i := 0; i < b.N; i++ {
 					res = a.run(d)
@@ -248,9 +268,11 @@ func BenchmarkFig8_DDSEfficiency(b *testing.B) {
 // attached as metrics (arcs_input = the PXY row, arcs_warm = PWC₁,
 // arcs_wstar = PWC_w*, arcs_densest = PWC_D*).
 func BenchmarkTable7_GraphSizes(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range dirAbbrs {
 		d := dirGraph(b, abbr)
 		b.Run(abbr, func(b *testing.B) {
+			b.ReportAllocs()
 			var stats dds.PWCStats
 			for i := 0; i < b.N; i++ {
 				_, stats = dds.PWCWithStats(d, benchWorkers)
@@ -266,20 +288,24 @@ func BenchmarkTable7_GraphSizes(b *testing.B) {
 // BenchmarkFig9_DDSThreads is Exp-7: PBD/PXY/PWC versus the worker count on
 // the first three directed datasets.
 func BenchmarkFig9_DDSThreads(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range dirAbbrs[:3] {
 		d := dirGraph(b, abbr)
 		for _, p := range []int{1, 2, 4, 8} {
 			b.Run(abbr+"/PWC/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PWC(d, p)
 				}
 			})
 			b.Run(abbr+"/PXY/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PXY(d, p)
 				}
 			})
 			b.Run(abbr+"/PBD/p="+itoa(p), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PBD(d, 2, 1, p, 0)
 				}
@@ -291,22 +317,26 @@ func BenchmarkFig9_DDSThreads(b *testing.B) {
 // BenchmarkFig10_DDSScalability is Exp-8: PBD/PXY/PWC versus the sampled
 // edge fraction on the WE and TW models.
 func BenchmarkFig10_DDSScalability(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range []string{"WE", "TW"} {
 		d := dirGraph(b, abbr)
 		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 			sub := d.SampleEdges(frac, 8800)
 			label := abbr + "/" + itoa(int(frac*100)) + "pct"
 			b.Run(label+"/PWC", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PWC(sub, benchWorkers)
 				}
 			})
 			b.Run(label+"/PXY", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PXY(sub, benchWorkers)
 				}
 			})
 			b.Run(label+"/PBD", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					dds.PBD(sub, 2, 1, benchWorkers, 0)
 				}
@@ -318,9 +348,11 @@ func BenchmarkFig10_DDSScalability(b *testing.B) {
 // BenchmarkAblationEarlyStop isolates Theorem 1's contribution: PKMC with
 // the early stop against the identical sweep forced to full convergence.
 func BenchmarkAblationEarlyStop(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range []string{"EW", "SK"} {
 		g := undGraph(b, abbr)
 		b.Run(abbr+"/with", func(b *testing.B) {
+			b.ReportAllocs()
 			var it int
 			for i := 0; i < b.N; i++ {
 				it = core.PKMC(g, benchWorkers).Iterations
@@ -328,6 +360,7 @@ func BenchmarkAblationEarlyStop(b *testing.B) {
 			b.ReportMetric(float64(it), "iters")
 		})
 		b.Run(abbr+"/without", func(b *testing.B) {
+			b.ReportAllocs()
 			var it int
 			for i := 0; i < b.N; i++ {
 				it = core.PKMCWithOptions(g, benchWorkers, core.PKMCOptions{DisableEarlyStop: true}).Iterations
@@ -340,9 +373,11 @@ func BenchmarkAblationEarlyStop(b *testing.B) {
 // BenchmarkAblationWarmStart isolates the Remark's w⁰ = d_max warm start in
 // the w*-subgraph computation.
 func BenchmarkAblationWarmStart(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range []string{"BA", "WE"} {
 		d := dirGraph(b, abbr)
 		b.Run(abbr+"/with", func(b *testing.B) {
+			b.ReportAllocs()
 			var lv int
 			for i := 0; i < b.N; i++ {
 				lv = dds.WStarSubgraphOpts(d, benchWorkers, true).Levels
@@ -350,6 +385,7 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 			b.ReportMetric(float64(lv), "levels")
 		})
 		b.Run(abbr+"/without", func(b *testing.B) {
+			b.ReportAllocs()
 			var lv int
 			for i := 0; i < b.N; i++ {
 				lv = dds.WStarSubgraphOpts(d, benchWorkers, false).Levels
@@ -362,13 +398,16 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 // BenchmarkAblationProp1Guard isolates the Proposition-1 short circuit in
 // PKMC's stop test (Algorithm 2, line 12).
 func BenchmarkAblationProp1Guard(b *testing.B) {
+	b.ReportAllocs()
 	g := undGraph(b, "EU")
 	b.Run("with", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.PKMC(g, benchWorkers)
 		}
 	})
 	b.Run("without", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.PKMCWithOptions(g, benchWorkers, core.PKMCOptions{DisableProp1Guard: true})
 		}
@@ -378,10 +417,12 @@ func BenchmarkAblationProp1Guard(b *testing.B) {
 // BenchmarkAblationGrainSize sweeps the dynamic-scheduling chunk size of
 // the parallel-for runtime over an adjacency-touching kernel.
 func BenchmarkAblationGrainSize(b *testing.B) {
+	b.ReportAllocs()
 	g := undGraph(b, "SK")
 	n := g.N()
 	for _, grain := range []int{64, 256, 1024, 4096, 16384} {
 		b.Run("grain="+itoa(grain), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var sink int64
 				parallel.ForBlocks(n, 0, grain, func(lo, hi int) {
@@ -407,9 +448,11 @@ func itoa(v int) string { return strconv.Itoa(v) }
 // densest-subgraph certificate? Reports time side by side with the
 // densities ("density" metric) on the undirected models.
 func BenchmarkExtensionTrussVsCore(b *testing.B) {
+	b.ReportAllocs()
 	for _, abbr := range []string{"PT", "EW"} {
 		g := undGraph(b, abbr)
 		b.Run(abbr+"/PKMC", func(b *testing.B) {
+			b.ReportAllocs()
 			var density float64
 			for i := 0; i < b.N; i++ {
 				res := core.PKMC(g, benchWorkers)
@@ -418,6 +461,7 @@ func BenchmarkExtensionTrussVsCore(b *testing.B) {
 			b.ReportMetric(density, "density")
 		})
 		b.Run(abbr+"/MaxTruss", func(b *testing.B) {
+			b.ReportAllocs()
 			var density float64
 			for i := 0; i < b.N; i++ {
 				_, density, _ = truss.Densest(g, benchWorkers)
@@ -431,9 +475,11 @@ func BenchmarkExtensionTrussVsCore(b *testing.B) {
 // paper's future-work deployment) across worker counts, reporting the
 // communication volume as metrics.
 func BenchmarkExtensionDistributed(b *testing.B) {
+	b.ReportAllocs()
 	g := undGraph(b, "EU")
 	for _, w := range []int{2, 4, 8} {
 		b.Run("w="+itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
 			var stats dist.Stats
 			for i := 0; i < b.N; i++ {
 				stats = dist.KStarCore(g, w).Stats
@@ -448,15 +494,18 @@ func BenchmarkExtensionDistributed(b *testing.B) {
 // WebGraph-style compressed adjacency, with the memory footprints as
 // metrics: the decode overhead buys a 2-3x smaller graph.
 func BenchmarkExtensionCompressed(b *testing.B) {
+	b.ReportAllocs()
 	g := undGraph(b, "SK")
 	c := webgraph.FromUndirected(g)
 	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.PKMC(g, benchWorkers)
 		}
 		b.ReportMetric(float64(2*g.M()*4+int64(g.N()+1)*8), "adj_bytes")
 	})
 	b.Run("compressed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c.KStarCore(benchWorkers)
 		}
@@ -467,15 +516,18 @@ func BenchmarkExtensionCompressed(b *testing.B) {
 // BenchmarkAblationDegreeOrder quantifies the locality effect of
 // hub-first relabeling on the PKMC sweeps and on the compressed size.
 func BenchmarkAblationDegreeOrder(b *testing.B) {
+	b.ReportAllocs()
 	g := undGraph(b, "UN")
 	relabeled, _ := g.RelabelByDegree()
 	b.Run("original", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.PKMC(g, benchWorkers)
 		}
 		b.ReportMetric(float64(webgraph.FromUndirected(g).SizeBytes()), "compressed_bytes")
 	})
 	b.Run("degree-ordered", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.PKMC(relabeled, benchWorkers)
 		}

@@ -19,9 +19,19 @@
 //
 // -json switches from rendered tables to the versioned benchmark artifact:
 // a BENCH_<timestamp>.json file (schema_version, run metadata, measurement
-// rows, and full PKMC/PWC solver traces with per-phase timings and
-// iteration logs) written to -out (default "."). The schema is documented
-// in DESIGN.md.
+// rows with per-row allocation counts, and full PKMC/PWC solver traces
+// with per-phase timings and iteration logs) written to -out (default
+// "."). The schema is documented in DESIGN.md.
+//
+// -baseline <BENCH_*.json> (with -json) turns the run into a perf ratchet:
+// after writing the fresh report it is compared row by row against the
+// baseline report, and any row whose wall time or allocation count
+// regressed past the thresholds (-ratchet-factor/-ratchet-slack for
+// seconds, -ratchet-alloc-factor/-ratchet-alloc-slack for allocs) makes
+// the process exit nonzero. Reports from different machines, toolchains,
+// or runtime configurations (GOMAXPROCS, GOGC, scale, workers) are
+// incomparable; the ratchet then notes why and passes, so a committed
+// baseline from another host never blocks CI.
 package main
 
 import (
@@ -55,9 +65,18 @@ func run(args []string, w io.Writer) error {
 		chart   = fs.Bool("chart", false, "render figures as ASCII charts instead of tables")
 		asJSON  = fs.Bool("json", false, "write a versioned BENCH_<timestamp>.json report instead of tables (overrides -chart)")
 		outDir  = fs.String("out", ".", "directory for the -json report file")
+
+		baseline    = fs.String("baseline", "", "BENCH_*.json report to ratchet against (requires -json); exits nonzero on regression")
+		rFactor     = fs.Float64("ratchet-factor", 0, "wall-time regression factor (0 = default 1.5)")
+		rSlack      = fs.Float64("ratchet-slack", 0, "wall-time absolute slack in seconds (0 = default 0.05)")
+		rAllocs     = fs.Float64("ratchet-alloc-factor", 0, "allocation regression factor (0 = default 2)")
+		rAllocSlack = fs.Int64("ratchet-alloc-slack", 0, "allocation absolute slack (0 = default 10000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline != "" && !*asJSON {
+		return fmt.Errorf("-baseline requires -json (the ratchet compares report artifacts)")
 	}
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Budget: *budget}
@@ -127,6 +146,13 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s (%d rows, %d traces)\n", path, len(report.Rows), len(report.Traces))
+		if *baseline != "" {
+			opts := bench.RatchetOptions{
+				Factor: *rFactor, Slack: *rSlack,
+				AllocFactor: *rAllocs, AllocSlack: *rAllocSlack,
+			}
+			return ratchet(w, *baseline, report, opts)
+		}
 		return nil
 	}
 
@@ -198,6 +224,31 @@ func run(args []string, w io.Writer) error {
 		bench.FormatRows(w, "Extensions: k*-core vs max truss vs triangle peel", bench.Extensions(cfg))
 	}
 	return nil
+}
+
+// ratchet compares the fresh report against the stored baseline and
+// returns an error (nonzero exit) when any row regressed. Incomparable
+// baselines — a different machine, toolchain, or runtime configuration —
+// are noted and skipped rather than failed, so a committed fallback
+// baseline generated elsewhere degrades to a no-op instead of noise.
+func ratchet(w io.Writer, path string, current bench.Report, opts bench.RatchetOptions) error {
+	base, err := bench.ReadReport(path)
+	if err != nil {
+		return fmt.Errorf("ratchet baseline: %w", err)
+	}
+	if ok, why := bench.Comparable(base, current); !ok {
+		fmt.Fprintf(w, "ratchet: baseline %s is not comparable to this run (%s); skipping\n", path, why)
+		return nil
+	}
+	regs := bench.CompareReports(base, current, opts)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "ratchet: no regressions against %s\n", path)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "ratchet: REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("%d row(s) regressed against baseline %s", len(regs), path)
 }
 
 func printSpeedups(w io.Writer, rows []bench.Row, fast string, slows []string) {

@@ -45,8 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	analyzers := all.Analyzers()
 	if *list {
+		width := 0
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			if len(a.Name) > width {
+				width = len(a.Name)
+			}
+		}
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-*s  %s\n", width, a.Name, firstSentence(a.Doc))
 		}
 		return 0
 	}
@@ -150,6 +156,17 @@ func writeJSON(w io.Writer, root string, analyzers []*analysis.Analyzer, pkgs []
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// firstSentence reduces an analyzer Doc to its one-line summary for
+// -list: everything up to the first sentence break, with any newlines
+// from wrapped doc text collapsed to spaces.
+func firstSentence(doc string) string {
+	doc = strings.Join(strings.Fields(doc), " ")
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	return doc
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -23,8 +23,9 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestListAnalyzers checks the suite is wired: all nine invariants are
-// registered with the driver.
+// TestListAnalyzers checks the suite is wired: all eleven invariants are
+// registered with the driver, and each -list row carries the analyzer's
+// one-line doc so the listing stays self-describing.
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
@@ -32,10 +33,20 @@ func TestListAnalyzers(t *testing.T) {
 	}
 	for _, name := range []string{
 		"sharedwrite", "ctxpoll", "probename", "tracenil", "atomicmix",
-		"lockorder", "errcode", "gorolife", "expvarname",
+		"lockorder", "errcode", "gorolife", "expvarname", "hotalloc", "hotbench",
 	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output is missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 11 {
+		t.Errorf("-list printed %d rows, want 11:\n%s", len(lines), stdout.String())
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Errorf("-list row %q has no doc text alongside the name", line)
 		}
 	}
 }
@@ -69,10 +80,12 @@ replace repro => `+root+`
 	// Internal packages are invisible across the module boundary, so the
 	// scratch module seeds the violations expressible through the public
 	// API and plain stdlib: a dropped Options.Ctx and an ignored context
-	// parameter (ctxpoll), a mixed atomic/plain counter (atomicmix), and
-	// an expvar registration through a raw string literal (expvarname).
-	// The internal-facing analyzers get their seeded violations from the
-	// golden-file tests and TestSeededLockInversion below.
+	// parameter (ctxpoll), a mixed atomic/plain counter (atomicmix), an
+	// expvar registration through a raw string literal (expvarname), and
+	// a //dsd:hotpath kernel that both allocates (hotalloc) and is missing
+	// from a HotPaths() registry (hotbench). The internal-facing analyzers
+	// get their seeded violations from the golden-file tests and
+	// TestSeededLockInversion below.
 	writeFile(t, dir, "bad.go", `package scratch
 
 import (
@@ -102,6 +115,15 @@ func Solve(g *dsd.Graph, opts dsd.Options) (dsd.Result, error) {
 func Ignore(ctx context.Context, v int) int {
 	return v
 }
+
+//dsd:hotpath
+func kernel(xs []int32) []int32 {
+	out := make([]int32, len(xs))
+	copy(out, xs)
+	return out
+}
+
+var _ = kernel
 `)
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
@@ -115,6 +137,8 @@ func Ignore(ctx context.Context, v int) int {
 		"ctxpoll: exported Solve takes dsd.Options",
 		"ctxpoll: exported Ignore takes a context.Context",
 		`expvarname: expvar.NewInt name must be a registered Metric* constant from a metric registry package, not the string literal "scratch_hits"`,
+		"hotalloc: hot path kernel: makes a []int32",
+		"hotbench: package has //dsd:hotpath kernels but no HotPaths() registry",
 	} {
 		if !strings.Contains(out, wantFrag) {
 			t.Errorf("diagnostics missing %q:\n%s", wantFrag, out)
@@ -227,8 +251,8 @@ func Drop(ctx context.Context, v int) int {
 	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
 	}
-	if len(report.Analyzers) != 9 {
-		t.Errorf("report names %d analyzers, want 9: %v", len(report.Analyzers), report.Analyzers)
+	if len(report.Analyzers) != 11 {
+		t.Errorf("report names %d analyzers, want 11: %v", len(report.Analyzers), report.Analyzers)
 	}
 	if report.Packages < 1 {
 		t.Errorf("report covers %d packages, want at least 1", report.Packages)

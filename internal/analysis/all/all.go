@@ -10,6 +10,8 @@ import (
 	"repro/internal/analysis/errcode"
 	"repro/internal/analysis/expvarname"
 	"repro/internal/analysis/gorolife"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/hotbench"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/probename"
 	"repro/internal/analysis/sharedwrite"
@@ -24,6 +26,8 @@ func Analyzers() []*analysis.Analyzer {
 		errcode.Analyzer,
 		expvarname.Analyzer,
 		gorolife.Analyzer,
+		hotalloc.Analyzer,
+		hotbench.Analyzer,
 		lockorder.Analyzer,
 		probename.Analyzer,
 		sharedwrite.Analyzer,

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "hotalloc")
+}

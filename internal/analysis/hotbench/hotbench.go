@@ -1,0 +1,159 @@
+// Package hotbench closes the loop on the hot-path discipline: every
+// //dsd:hotpath kernel must be registered in its package's HotPaths()
+// registry (the Sites()/Codes() pattern), so the package's zero-alloc
+// test — which iterates HotPaths() and drives each kernel under
+// testing.AllocsPerRun — cannot silently skip one.
+//
+// The analyzer checks, per package:
+//
+//   - every //dsd:hotpath function or method appears exactly once in
+//     the string-slice literal HotPaths() returns, as "Func" or
+//     "Type.Method";
+//   - every registry entry names a //dsd:hotpath function (nothing
+//     stale, nothing invented) and entries are literal strings;
+//   - a package with marked kernels declares HotPaths(), and a
+//     package declaring HotPaths() has marked kernels.
+//
+// The dynamic half lives in each package's hotpath_test.go: the test
+// fails if a registered name has no AllocsPerRun runner, so the static
+// registry and the measured set stay in lockstep.
+package hotbench
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// RegistryFunc is the per-package registry function name, overridable
+// by golden tests.
+var RegistryFunc = "HotPaths"
+
+// Analyzer is the hotbench pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotbench",
+	Doc: "every //dsd:hotpath kernel must be listed exactly once in its package's " +
+		"HotPaths() registry so the AllocsPerRun zero-alloc tests cover it",
+	Run: run,
+}
+
+// markedFunc is one //dsd:hotpath declaration in the package.
+type markedFunc struct {
+	name string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var marked []markedFunc
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.IsHotPath(fd) {
+				continue
+			}
+			marked = append(marked, markedFunc{name: declName(fd), pos: fd.Pos()})
+		}
+	}
+
+	registry, entries := registryEntries(pass)
+	if registry == nil {
+		if len(marked) > 0 {
+			pass.Reportf(marked[0].pos,
+				"package has //dsd:hotpath kernels but no %s() registry; the zero-alloc tests cannot find them",
+				RegistryFunc)
+		}
+		return nil
+	}
+	if len(marked) == 0 {
+		pass.Reportf(registry.Pos(),
+			"%s() registry in a package with no //dsd:hotpath kernels; delete it or mark the kernels",
+			RegistryFunc)
+		return nil
+	}
+
+	byName := map[string]bool{}
+	for _, m := range marked {
+		byName[m.name] = true
+	}
+	listed := map[string]bool{}
+	for _, entry := range entries {
+		name, ok := stringEntry(entry)
+		if !ok {
+			pass.Reportf(entry.Pos(),
+				"%s() entry must be a literal string naming a //dsd:hotpath function", RegistryFunc)
+			continue
+		}
+		if listed[name] {
+			pass.Reportf(entry.Pos(), "%s listed twice in %s()", name, RegistryFunc)
+			continue
+		}
+		listed[name] = true
+		if !byName[name] {
+			pass.Reportf(entry.Pos(),
+				"%s() lists %q, which is not a //dsd:hotpath-marked function in this package",
+				RegistryFunc, name)
+		}
+	}
+	for _, m := range marked {
+		if !listed[m.name] {
+			pass.Reportf(m.pos,
+				"hot-path kernel %s is not listed in %s(); the zero-alloc tests will not cover it",
+				m.name, RegistryFunc)
+		}
+	}
+	return nil
+}
+
+// declName renders a declaration as "Func" or "Type.Method", the
+// registry's naming convention.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// registryEntries returns the HotPaths declaration and the elements of
+// the slice literal it returns, or nil when the package has none.
+func registryEntries(pass *analysis.Pass) (*ast.FuncDecl, []ast.Expr) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != RegistryFunc || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			var entries []ast.Expr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					entries = append(entries, lit.Elts...)
+					return false
+				}
+				return true
+			})
+			return fd, entries
+		}
+	}
+	return nil, nil
+}
+
+// stringEntry unquotes a literal string registry entry.
+func stringEntry(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,20 @@
+package hotbench_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotbench"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, hotbench.Analyzer, "hotbench")
+}
+
+func TestGoldenNoRegistry(t *testing.T) {
+	analysistest.Run(t, hotbench.Analyzer, "hotbenchnoreg")
+}
+
+func TestGoldenStaleRegistry(t *testing.T) {
+	analysistest.Run(t, hotbench.Analyzer, "hotbenchstale")
+}

@@ -1,0 +1,91 @@
+// Golden input for the hotalloc analyzer: one allocating construct of
+// each rejected kind inside marked kernels, transitive propagation
+// through helpers, the //dsd:alloc-ok waiver in both forms, and clean
+// constructs that must not be flagged.
+package hotalloc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+type pair struct{ a, b int }
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+func takeAny(v any) {}
+
+func variadicSum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func clean() int { return 1 }
+
+// alloc2 allocates directly; callers inherit the summary.
+func alloc2(s string) []byte { return []byte(s) }
+
+// mid allocates only transitively, through alloc2.
+func mid() []byte { return alloc2("x") }
+
+// pooled's allocation is waived, so callers stay clean.
+func pooled() []int {
+	return make([]int, 32) //dsd:alloc-ok pool refill, amortized across the run
+}
+
+var fp = func() {}
+
+//dsd:hotpath
+func kernel(dst []int, bs []byte, m map[int]int, s string, n int) int {
+	buf := make([]int, 8) // want "makes a"
+	_ = buf
+	q := new(pair) // want "calls new"
+	_ = q
+	dst = append(dst, n) // want "append may grow its backing array"
+	m[n] = 1             // want "map write may allocate"
+	s += "x"             // want "string concatenation allocates"
+	_ = []int{1, 2}      // want "composite literal allocates a slice"
+	p := &pair{1, 2}     // want "taking the address of a composite literal"
+	_ = p
+	_ = string(bs)        // want "conversion to string allocates"
+	_ = any(n)            // want "conversion boxes a int into an interface"
+	takeAny(pair{a: n})   // want "argument boxes a hotalloc.pair into an interface parameter"
+	_ = variadicSum(1, 2) // want "variadic call allocates its argument slice"
+	_ = fmt.Sprint(n)     // want "calls fmt.Sprint, which formats and allocates"
+	_ = strconv.Itoa(n)   // want "calls strconv.Itoa, which is not audited for allocation-freedom"
+	go clean()            // want "go statement allocates a new goroutine"
+	_ = alloc2(s)         // want "calls alloc2, which may allocate"
+	_ = mid()             // want "calls mid, which may allocate"
+	f := func() { n++ }   // want "function literal captures n"
+	f()                   // want "dynamic call through a function value"
+	fp()                  // want "dynamic call through a function value"
+	var c counter
+	h := c.inc // want "method value binds its receiver"
+	_ = h
+	return n + len(dst)
+}
+
+//dsd:hotpath
+func kernelWaived(n int) int {
+	w := make([]int, 4) //dsd:alloc-ok amortized warm-up growth
+	//dsd:alloc-ok
+	bad := make([]int, 4) // want "missing its reason"
+	_, _ = w, bad
+	_ = pooled()
+	x := clean() + n*2
+	_ = math.Sqrt(float64(x))
+	return x
+}
+
+type ring struct{ buf []int }
+
+//dsd:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // want "append may grow its backing array"
+}

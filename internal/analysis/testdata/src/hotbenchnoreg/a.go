@@ -1,0 +1,8 @@
+// Golden input for hotbench: marked kernels with no registry at all.
+package hotbenchnoreg
+
+//dsd:hotpath
+func kern() {} // want "package has //dsd:hotpath kernels but no HotPaths"
+
+//dsd:hotpath
+func kern2() {}

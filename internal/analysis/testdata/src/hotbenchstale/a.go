@@ -1,0 +1,9 @@
+// Golden input for hotbench: a stale registry in a package whose
+// kernels have all been unmarked or moved away.
+package hotbenchstale
+
+func solve() int { return 0 }
+
+func HotPaths() []string { // want "registry in a package with no //dsd:hotpath kernels"
+	return []string{"solve"}
+}

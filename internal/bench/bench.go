@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -55,22 +56,40 @@ func (c Config) withDefaults() Config {
 // The JSON tags are the wire names of the BENCH_*.json report (see Report);
 // they are part of the schema and change only with SchemaVersion.
 type Row struct {
-	Experiment string           `json:"experiment"`
-	Dataset    string           `json:"dataset"`
-	Algorithm  string           `json:"algorithm"`
-	Param      string           `json:"param,omitempty"` // threads ("p=4"), fraction ("20%"), or empty
-	Seconds    float64          `json:"seconds"`
-	TimedOut   bool             `json:"timed_out,omitempty"`
-	Density    float64          `json:"density"`
-	Iterations int              `json:"iterations,omitempty"`
-	Extra      map[string]int64 `json:"extra,omitempty"` // experiment-specific counters
+	Experiment string  `json:"experiment"`
+	Dataset    string  `json:"dataset"`
+	Algorithm  string  `json:"algorithm"`
+	Param      string  `json:"param,omitempty"` // threads ("p=4"), fraction ("20%"), or empty
+	Seconds    float64 `json:"seconds"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	Density    float64 `json:"density"`
+	Iterations int     `json:"iterations,omitempty"`
+	// Allocs is the heap-allocation count of the measured run (Mallocs
+	// delta), the second metric the dsdbench -baseline ratchet guards.
+	// Zero means "not measured" (e.g. averaged multi-run rows).
+	Allocs int64            `json:"allocs,omitempty"`
+	Extra  map[string]int64 `json:"extra,omitempty"` // experiment-specific counters
 }
 
-// timeIt measures one run.
+// timeIt measures one run's wall time.
 func timeIt(f func()) float64 {
 	start := time.Now()
 	f()
 	return time.Since(start).Seconds()
+}
+
+// timeAlloc measures one run's wall time and heap-allocation count. The
+// Mallocs delta is process-wide, so concurrent background allocation would
+// leak in — dsdbench runs experiments sequentially, which keeps the count
+// attributable to the run.
+func timeAlloc(f func()) (seconds float64, allocs int64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return seconds, int64(after.Mallocs - before.Mallocs)
 }
 
 // FormatRows renders rows grouped by dataset in a fixed-width table, one

@@ -114,10 +114,10 @@ func Exp1(cfg Config) []Row {
 		g := ds.BuildUndirected(cfg.Scale)
 		for _, a := range udsLineup() {
 			var res solver.Result
-			sec := timeIt(func() { res = a.run(g, cfg.Workers) })
+			sec, allocs := timeAlloc(func() { res = a.run(g, cfg.Workers) })
 			rows = append(rows, Row{
 				Experiment: "exp1", Dataset: ds.Abbr, Algorithm: a.name,
-				Seconds: sec, Density: res.Density, Iterations: res.Iterations,
+				Seconds: sec, Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 			})
 		}
 	}
@@ -137,10 +137,10 @@ func Exp2(cfg Config) []Row {
 				continue
 			}
 			var res solver.Result
-			sec := timeIt(func() { res = a.run(g, cfg.Workers) })
+			sec, allocs := timeAlloc(func() { res = a.run(g, cfg.Workers) })
 			rows = append(rows, Row{
 				Experiment: "exp2", Dataset: ds.Abbr, Algorithm: a.name,
-				Seconds: sec, Density: res.Density, Iterations: res.Iterations,
+				Seconds: sec, Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 			})
 		}
 	}
@@ -160,10 +160,10 @@ func Exp3(cfg Config) []Row {
 					continue // dominated by orders of magnitude; Fig. 6 timing detail is about the core-based methods and PBU
 				}
 				var res solver.Result
-				sec := timeIt(func() { res = a.run(g, p) })
+				sec, allocs := timeAlloc(func() { res = a.run(g, p) })
 				rows = append(rows, Row{
 					Experiment: "exp3", Dataset: ds.Abbr, Algorithm: a.name,
-					Param: pLabel(p), Seconds: sec, Density: res.Density, Iterations: res.Iterations,
+					Param: pLabel(p), Seconds: sec, Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 				})
 			}
 		}
@@ -183,10 +183,10 @@ func Exp4(cfg Config) []Row {
 			sub := g.SampleEdges(frac, 7700+int64(frac*100))
 			for _, a := range udsLineup() {
 				var res solver.Result
-				sec := timeIt(func() { res = a.run(sub, cfg.Workers) })
+				sec, allocs := timeAlloc(func() { res = a.run(sub, cfg.Workers) })
 				rows = append(rows, Row{
 					Experiment: "exp4", Dataset: ds.Abbr, Algorithm: a.name,
-					Param: fracLabel(frac), Seconds: sec, Density: res.Density, Iterations: res.Iterations,
+					Param: fracLabel(frac), Seconds: sec, Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 				})
 			}
 		}
@@ -204,10 +204,10 @@ func Exp5(cfg Config) []Row {
 		d := ds.BuildDirected(cfg.Scale)
 		for _, a := range ddsLineup() {
 			var res dds.Result
-			sec := timeIt(func() { res = a.run(d, cfg.Workers, cfg.Budget) })
+			sec, allocs := timeAlloc(func() { res = a.run(d, cfg.Workers, cfg.Budget) })
 			rows = append(rows, Row{
 				Experiment: "exp5", Dataset: ds.Abbr, Algorithm: a.name,
-				Seconds: sec, TimedOut: res.TimedOut, Density: res.Density, Iterations: res.Iterations,
+				Seconds: sec, TimedOut: res.TimedOut, Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 			})
 		}
 	}
@@ -253,11 +253,11 @@ func Exp7(cfg Config) []Row {
 					continue
 				}
 				var res dds.Result
-				sec := timeIt(func() { res = a.run(d, p, cfg.Budget) })
+				sec, allocs := timeAlloc(func() { res = a.run(d, p, cfg.Budget) })
 				rows = append(rows, Row{
 					Experiment: "exp7", Dataset: ds.Abbr, Algorithm: a.name,
 					Param: pLabel(p), Seconds: sec, TimedOut: res.TimedOut,
-					Density: res.Density, Iterations: res.Iterations,
+					Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 				})
 			}
 		}
@@ -280,11 +280,11 @@ func Exp8(cfg Config) []Row {
 					continue
 				}
 				var res dds.Result
-				sec := timeIt(func() { res = a.run(sub, cfg.Workers, cfg.Budget) })
+				sec, allocs := timeAlloc(func() { res = a.run(sub, cfg.Workers, cfg.Budget) })
 				rows = append(rows, Row{
 					Experiment: "exp8", Dataset: ds.Abbr, Algorithm: a.name,
 					Param: fracLabel(frac), Seconds: sec, TimedOut: res.TimedOut,
-					Density: res.Density, Iterations: res.Iterations,
+					Density: res.Density, Iterations: res.Iterations, Allocs: allocs,
 				})
 			}
 		}
@@ -365,7 +365,7 @@ func Accuracy(cfg Config) []Row {
 		for _, iters := range []int{5, 10, 25, 50, 100} {
 			var res solver.Result
 			var err error
-			sec := timeIt(func() {
+			sec, allocs := timeAlloc(func() {
 				res, err = d.SolveUDS(nil, g, solver.Params{Workers: cfg.Workers, Iterations: iters, Epsilon: 1e-9})
 			})
 			if err != nil {
@@ -373,7 +373,7 @@ func Accuracy(cfg Config) []Row {
 			}
 			rows = append(rows, Row{
 				Experiment: "accuracy", Dataset: "clique", Algorithm: d.Display,
-				Param: "iters=" + strconv.Itoa(iters), Seconds: sec,
+				Param: "iters=" + strconv.Itoa(iters), Seconds: sec, Allocs: allocs,
 				Density: res.Density, Iterations: res.Iterations,
 				Extra: map[string]int64{"ratio_x1000": int64(1000 * opt / res.Density)},
 			})

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -24,7 +25,10 @@ import (
 //	   Incremental vs RecomputeBZ timings) and, when "live" is among the
 //	   selected experiments, a DynamicKStarCore trace with the
 //	   incremental-apply / full-recompute phase split.
-const SchemaVersion = 2
+//	3: per-row heap-allocation counts ("allocs") and the runtime knobs
+//	   the -baseline perf ratchet keys comparability on ("gomaxprocs",
+//	   "gogc") in the report metadata.
+const SchemaVersion = 3
 
 // Report is the machine-readable benchmark artifact written by
 // `dsdbench -json`: run metadata, the measurement rows of the selected
@@ -38,6 +42,11 @@ type Report struct {
 	GOOS          string `json:"goos"`
 	GOARCH        string `json:"goarch"`
 	NumCPU        int    `json:"num_cpu"`
+	// GOMAXPROCS and GOGC pin the runtime configuration of the run; the
+	// -baseline ratchet refuses to compare reports where they differ,
+	// since either knob shifts wall times and allocation behavior.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOGC       string `json:"gogc"` // $GOGC, or "default" when unset
 
 	Scale    float64  `json:"scale"`
 	Workers  int      `json:"workers"` // 0 = GOMAXPROCS
@@ -77,6 +86,8 @@ func NewReport(cfg Config, selected []string, rows []Row, generatedAt time.Time)
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GOGC:          gogcSetting(),
 		Scale:         cfg.Scale,
 		Workers:       cfg.Workers,
 		BudgetMs:      cfg.Budget.Milliseconds(),
@@ -155,6 +166,15 @@ func DatasetRows(cfg Config) []Row {
 		})
 	}
 	return rows
+}
+
+// gogcSetting reports the GOGC environment setting of this process, or
+// "default" when unset (the runtime's 100).
+func gogcSetting() string {
+	if v := os.Getenv("GOGC"); v != "" {
+		return v
+	}
+	return "default"
 }
 
 // WriteReport encodes the report as indented JSON.

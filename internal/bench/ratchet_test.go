@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func metaReport(rows []Row) Report {
+	return Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     "go1.22.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        8,
+		GOMAXPROCS:    8,
+		GOGC:          "default",
+		Scale:         0.1,
+		Workers:       0,
+		Rows:          rows,
+	}
+}
+
+func TestComparableGates(t *testing.T) {
+	base := metaReport(nil)
+	same := metaReport(nil)
+	if ok, why := Comparable(base, same); !ok {
+		t.Fatalf("identical metadata reported incomparable: %s", why)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		frag   string
+	}{
+		{"schema", func(r *Report) { r.SchemaVersion-- }, "schema_version"},
+		{"go", func(r *Report) { r.GoVersion = "go1.21.0" }, "go_version"},
+		{"arch", func(r *Report) { r.GOARCH = "arm64" }, "platform"},
+		{"cpus", func(r *Report) { r.NumCPU = 4 }, "num_cpu"},
+		{"gomaxprocs", func(r *Report) { r.GOMAXPROCS = 2 }, "gomaxprocs"},
+		{"gogc", func(r *Report) { r.GOGC = "off" }, "gogc"},
+		{"scale", func(r *Report) { r.Scale = 1 }, "scale"},
+		{"workers", func(r *Report) { r.Workers = 4 }, "workers"},
+	}
+	for _, tc := range cases {
+		other := metaReport(nil)
+		tc.mutate(&other)
+		ok, why := Comparable(base, other)
+		if ok {
+			t.Errorf("%s: differing %s reported comparable", tc.name, tc.frag)
+		} else if !strings.Contains(why, tc.frag) {
+			t.Errorf("%s: reason %q does not mention %s", tc.name, why, tc.frag)
+		}
+	}
+}
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	base := metaReport([]Row{
+		{Experiment: "exp1", Dataset: "PT", Algorithm: "PKMC", Seconds: 1.0, Allocs: 1000},
+		{Experiment: "exp1", Dataset: "AM", Algorithm: "PKMC", Seconds: 1.0, Allocs: 1000},
+		{Experiment: "exp1", Dataset: "DB", Algorithm: "PKMC", Seconds: 1.0, Allocs: 1000},
+	})
+	cur := metaReport([]Row{
+		// 3x slowdown: wall-time regression.
+		{Experiment: "exp1", Dataset: "PT", Algorithm: "PKMC", Seconds: 3.0, Allocs: 1000},
+		// 100x allocation growth: alloc regression.
+		{Experiment: "exp1", Dataset: "AM", Algorithm: "PKMC", Seconds: 1.0, Allocs: 100000},
+		// Within thresholds: clean.
+		{Experiment: "exp1", Dataset: "DB", Algorithm: "PKMC", Seconds: 1.2, Allocs: 1500},
+		// New row with no baseline: skipped.
+		{Experiment: "exp9", Dataset: "PT", Algorithm: "NEW", Seconds: 99, Allocs: 1 << 30},
+	})
+	regs := CompareReports(base, cur, RatchetOptions{})
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Key != "exp1|AM|PKMC|" || regs[0].Metric != "allocs" {
+		t.Errorf("regs[0] = %+v, want exp1|AM|PKMC| allocs", regs[0])
+	}
+	if regs[1].Key != "exp1|PT|PKMC|" || regs[1].Metric != "seconds" {
+		t.Errorf("regs[1] = %+v, want exp1|PT|PKMC| seconds", regs[1])
+	}
+}
+
+func TestCompareReportsSkipsTimedOutAndUnmeasured(t *testing.T) {
+	base := metaReport([]Row{
+		{Experiment: "e", Dataset: "A", Algorithm: "X", Seconds: 30, TimedOut: true},
+		{Experiment: "e", Dataset: "B", Algorithm: "X", Seconds: 1.0, Allocs: 0},
+	})
+	cur := metaReport([]Row{
+		// Baseline timed out: its Seconds is the budget, not a measurement.
+		{Experiment: "e", Dataset: "A", Algorithm: "X", Seconds: 300},
+		// Allocs unmeasured on the baseline side: only seconds is ratcheted.
+		{Experiment: "e", Dataset: "B", Algorithm: "X", Seconds: 1.0, Allocs: 1 << 40},
+	})
+	if regs := CompareReports(base, cur, RatchetOptions{}); len(regs) != 0 {
+		t.Fatalf("got %d regressions, want 0: %v", len(regs), regs)
+	}
+}
+
+func TestCompareReportsSlackAbsorbsMicroJitter(t *testing.T) {
+	base := metaReport([]Row{
+		{Experiment: "e", Dataset: "A", Algorithm: "X", Seconds: 0.001, Allocs: 50},
+	})
+	cur := metaReport([]Row{
+		// 10x on a 1ms row and +5x on 50 allocs: both inside the default
+		// absolute slacks, which exist exactly for micro-row jitter.
+		{Experiment: "e", Dataset: "A", Algorithm: "X", Seconds: 0.01, Allocs: 250},
+	})
+	if regs := CompareReports(base, cur, RatchetOptions{}); len(regs) != 0 {
+		t.Fatalf("micro-jitter flagged as regression: %v", regs)
+	}
+	// With the slacks zeroed out (well, minimized), the same delta trips.
+	strict := RatchetOptions{Factor: 1.5, Slack: 1e-9, AllocFactor: 2, AllocSlack: 1}
+	if regs := CompareReports(base, cur, strict); len(regs) != 2 {
+		t.Fatalf("strict options found %d regressions, want 2: %v", len(regs), regs)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	want := metaReport([]Row{
+		{Experiment: "e", Dataset: "A", Algorithm: "X", Seconds: 1.5, Allocs: 42},
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(f, want); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, rerr := ReadReport(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got.SchemaVersion != want.SchemaVersion || got.GOMAXPROCS != want.GOMAXPROCS ||
+		got.GOGC != want.GOGC || len(got.Rows) != 1 || got.Rows[0].Allocs != 42 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("ReadReport on a missing file returned nil error")
+	}
+}

@@ -11,24 +11,29 @@ import (
 // the repo root.
 
 func BenchmarkCoreEngines(b *testing.B) {
+	b.ReportAllocs()
 	body := gen.ChungLu(20000, 200000, 2.1, 1)
 	g := gen.Composite(body, 120, 4, 25, 2)
 	b.Run("BZ-serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			BZ(g)
 		}
 	})
 	b.Run("Local", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			Local(g, 0)
 		}
 	})
 	b.Run("PKC", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			PKC(g, 0)
 		}
 	})
 	b.Run("PKMC", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			PKMC(g, 0)
 		}
@@ -36,6 +41,7 @@ func BenchmarkCoreEngines(b *testing.B) {
 }
 
 func BenchmarkHIndexKernel(b *testing.B) {
+	b.ReportAllocs()
 	g := gen.ChungLu(20000, 200000, 2.1, 3)
 	h := make([]int32, g.N())
 	for v := range h {
@@ -53,6 +59,7 @@ func BenchmarkHIndexKernel(b *testing.B) {
 }
 
 func BenchmarkDynamicInsert(b *testing.B) {
+	b.ReportAllocs()
 	base := gen.ChungLu(5000, 40000, 2.3, 4)
 	d := NewDynamic(base)
 	edges := gen.ErdosRenyi(5000, int64(b.N)+1000, 5).Edges()

@@ -33,6 +33,8 @@ func (s *hScratch) put(b *[]int32) { s.pool.Put(b) }
 // The kernel is the counting form: clamp each neighbor value to d =
 // len(neighbors), histogram, then scan the histogram downwards accumulating
 // "how many neighbors have value >= k" until the count reaches k. O(d).
+//
+//dsd:hotpath
 func hIndexOf(h []int32, neighbors []int32, buf []int32) int32 {
 	d := len(neighbors)
 	if d == 0 {
@@ -59,62 +61,76 @@ func hIndexOf(h []int32, neighbors []int32, buf []int32) int32 {
 	return 0
 }
 
-// hSweep performs one synchronous (Jacobi) h-index iteration over all
-// vertices with p workers: next[v] = h-index of cur values over v's
-// neighbors. It returns true if any value changed. cur and next must be
-// distinct slices of length g.N().
-func hSweep(g *graph.Undirected, cur, next []int32, scratch *hScratch, p int) bool {
-	changed := false
-	var mu sync.Mutex
-	parallel.ForBlocks(g.N(), p, parallel.DefaultGrain, func(lo, hi int) {
-		bufp := scratch.get()
-		localChanged := false
-		for v := lo; v < hi; v++ {
-			nv := hIndexOf(cur, g.Neighbors(int32(v)), *bufp)
-			next[v] = nv
-			if nv != cur[v] {
-				localChanged = true
-			}
-		}
-		scratch.put(bufp)
-		if localChanged {
-			mu.Lock()
-			changed = true
-			mu.Unlock()
-		}
-	})
-	return changed
+// hSweeper owns the state of the synchronous (Jacobi) h-index iteration:
+// the current and next value vectors, the histogram scratch pool, and the
+// block body prebound as a method value, so the steady-state sweep loop
+// allocates nothing — a fresh closure per sweep would put every capture
+// on the heap. Construct one per solve; sweep() until convergence.
+type hSweeper struct {
+	g       *graph.Undirected
+	scratch *hScratch
+	cur     []int32 // current h values; the converged vector after the last sweep
+	next    []int32
+	p       int
+
+	changed  atomic.Int64
+	deltaMax atomic.Int32
+	body     func(lo, hi int)
 }
 
-// hSweepTraced is hSweep with convergence accounting for the observability
-// layer: it additionally returns how many vertices changed value and the
-// largest single decrease (h-values are pointwise non-increasing, so the
-// delta is always a drop). It is only called when a trace is attached; the
-// untraced sweep stays free of the extra atomics.
-func hSweepTraced(g *graph.Undirected, cur, next []int32, scratch *hScratch, p int) (changed int64, maxDelta int32) {
-	var changedTotal atomic.Int64
-	var deltaMax atomic.Int32
-	parallel.ForBlocks(g.N(), p, parallel.DefaultGrain, func(lo, hi int) {
-		bufp := scratch.get()
-		var localChanged int64
-		var localDelta int32
-		for v := lo; v < hi; v++ {
-			nv := hIndexOf(cur, g.Neighbors(int32(v)), *bufp)
-			next[v] = nv
-			if nv != cur[v] {
-				localChanged++
-				if d := cur[v] - nv; d > localDelta {
-					localDelta = d
-				}
+func newHSweeper(g *graph.Undirected, p int) *hSweeper {
+	n := g.N()
+	s := &hSweeper{
+		g:       g,
+		scratch: newHScratch(g.MaxDegree()),
+		cur:     make([]int32, n),
+		next:    make([]int32, n),
+		p:       p,
+	}
+	s.body = s.sweepBlock
+	initDegrees(g, s.cur, p)
+	return s
+}
+
+// sweep performs one synchronous h-index iteration over all vertices —
+// next[v] = h-index of cur values over v's neighbors — then swaps the
+// vectors. It returns how many vertices changed value and the largest
+// single decrease (h-values are pointwise non-increasing, so the delta
+// is always a drop), the convergence accounting the trace layer records.
+//
+//dsd:hotpath
+func (s *hSweeper) sweep() (changed int64, maxDelta int32) {
+	s.changed.Store(0)
+	s.deltaMax.Store(0)
+	parallel.ForBlocks(s.g.N(), s.p, parallel.DefaultGrain, s.body)
+	s.cur, s.next = s.next, s.cur
+	return s.changed.Load(), s.deltaMax.Load()
+}
+
+// sweepBlock is the sweep's block body, reached through the prebound
+// method value (parallel.ForBlocks calls it per block, inline at p = 1).
+//
+//dsd:hotpath
+func (s *hSweeper) sweepBlock(lo, hi int) {
+	bufp := s.scratch.get()
+	cur, next := s.cur, s.next
+	var localChanged int64
+	var localDelta int32
+	for v := lo; v < hi; v++ {
+		nv := hIndexOf(cur, s.g.Neighbors(int32(v)), *bufp)
+		next[v] = nv
+		if nv != cur[v] {
+			localChanged++
+			if d := cur[v] - nv; d > localDelta {
+				localDelta = d
 			}
 		}
-		scratch.put(bufp)
-		if localChanged > 0 {
-			changedTotal.Add(localChanged)
-			parallel.MaxInt32(&deltaMax, localDelta)
-		}
-	})
-	return changedTotal.Load(), deltaMax.Load()
+	}
+	s.scratch.put(bufp)
+	if localChanged > 0 {
+		s.changed.Add(localChanged)
+		parallel.MaxInt32(&s.deltaMax, localDelta)
+	}
 }
 
 // initDegrees fills h with the vertex degrees in parallel — the h⁰

@@ -31,30 +31,20 @@ func Local(g *graph.Undirected, p int) LocalResult {
 // non-nil, every sweep records its h_max / candidate count / changed-vertex
 // count (trace.Iteration); nil keeps the untraced fast path.
 func LocalWithTrace(g *graph.Undirected, p int, tr *trace.Trace) LocalResult {
-	n := g.N()
-	cur := make([]int32, n)
-	next := make([]int32, n)
-	initDegrees(g, cur, p)
-	scratch := newHScratch(g.MaxDegree())
+	sw := newHSweeper(g, p)
 	iters := 0
 	for {
-		var changed bool
+		nChanged, maxDelta := sw.sweep()
 		if tr.Enabled() {
-			nChanged, maxDelta := hSweepTraced(g, cur, next, scratch, p)
-			changed = nChanged > 0
-			cur, next = next, cur
-			hmax, s := parallel.MaxIndexInt32(cur, p)
+			hmax, s := parallel.MaxIndexInt32(sw.cur, p)
 			tr.AddIteration(trace.Iteration{HMax: hmax, AtHMax: s, Changed: nChanged, MaxDelta: maxDelta})
-		} else {
-			changed = hSweep(g, cur, next, scratch, p)
-			cur, next = next, cur
 		}
 		iters++
-		if !changed {
+		if nChanged == 0 {
 			break
 		}
 	}
-	return LocalResult{CoreNum: cur, Iterations: iters}
+	return LocalResult{CoreNum: sw.cur, Iterations: iters}
 }
 
 // LocalKStarCore runs Local and extracts the k*-core, the 2-approximate

@@ -52,34 +52,22 @@ func PKMC(g *graph.Undirected, p int) PKMCResult {
 
 // PKMCWithOptions is PKMC with explicit ablation switches.
 func PKMCWithOptions(g *graph.Undirected, p int, opts PKMCOptions) PKMCResult {
-	n := g.N()
-	cur := make([]int32, n)
-	next := make([]int32, n)
-	initDegrees(g, cur, p)
-	scratch := newHScratch(g.MaxDegree())
+	sw := newHSweeper(g, p)
 
-	hmax, s := parallel.MaxIndexInt32(cur, p)
+	hmax, s := parallel.MaxIndexInt32(sw.cur, p)
 	iters := 0
 	for {
-		var changed bool
-		var nChanged int64
-		var maxDelta int32
-		if opts.Trace.Enabled() {
-			nChanged, maxDelta = hSweepTraced(g, cur, next, scratch, p)
-			changed = nChanged > 0
-		} else {
-			changed = hSweep(g, cur, next, scratch, p)
-		}
+		nChanged, maxDelta := sw.sweep()
+		changed := nChanged > 0
 		iters++
-		cur, next = next, cur
 		if !changed {
 			if opts.Trace.Enabled() {
-				nhmax, ns := parallel.MaxIndexInt32(cur, p)
+				nhmax, ns := parallel.MaxIndexInt32(sw.cur, p)
 				opts.Trace.AddIteration(trace.Iteration{HMax: nhmax, AtHMax: ns})
 			}
 			break // full convergence: h equals the core numbers everywhere
 		}
-		nhmax, ns := parallel.MaxIndexInt32(cur, p)
+		nhmax, ns := parallel.MaxIndexInt32(sw.cur, p)
 		stop := false
 		if !opts.DisableEarlyStop {
 			guardOK := opts.DisableProp1Guard || ns > int64(nhmax)
@@ -93,12 +81,12 @@ func PKMCWithOptions(g *graph.Undirected, p int, opts PKMCOptions) PKMCResult {
 		}
 		hmax, s = nhmax, ns
 	}
-	kstar, _ := parallel.MaxIndexInt32(cur, p)
-	vertices := collectAt(cur, kstar, p)
+	kstar, _ := parallel.MaxIndexInt32(sw.cur, p)
+	vertices := collectAt(sw.cur, kstar, p)
 	if opts.Paranoid {
 		verifyCore(g, vertices, kstar)
 	}
-	return PKMCResult{KStar: kstar, Vertices: vertices, Iterations: iters, H: cur}
+	return PKMCResult{KStar: kstar, Vertices: vertices, Iterations: iters, H: sw.cur}
 }
 
 // collectAt gathers, in parallel, the vertices whose h-value equals target,

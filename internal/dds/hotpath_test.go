@@ -1,0 +1,65 @@
+package dds
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// checkZeroAlloc drives each HotPaths() entry under testing.AllocsPerRun
+// and requires zero allocations, with GC disabled so a collection cannot
+// interfere with the measurement. It also checks that the runner map and
+// the registry cover each other exactly.
+func checkZeroAlloc(t *testing.T, entries []string, runners map[string]func()) {
+	t.Helper()
+	for name := range runners {
+		found := false
+		for _, e := range entries {
+			if e == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("runner %q has no HotPaths() entry", name)
+		}
+	}
+	for _, name := range entries {
+		fn, ok := runners[name]
+		if !ok {
+			t.Errorf("HotPaths() entry %q has no zero-alloc runner", name)
+			continue
+		}
+		fn() // warm any lazily-bound state outside the measurement
+		prev := debug.SetGCPercent(-1)
+		allocs := testing.AllocsPerRun(100, fn)
+		debug.SetGCPercent(prev)
+		if allocs != 0 {
+			t.Errorf("%s allocates %.0f times per run; hot paths must be allocation-free", name, allocs)
+		}
+	}
+}
+
+func TestHotPathsZeroAlloc(t *testing.T) {
+	d := graph.NewDirected(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 0, V: 2}, {U: 3, V: 0},
+	})
+	st := newWState(d, 1) // p = 1 keeps the parallel helpers inline
+	var sinkI64 int64
+	var sinkB bool
+	runners := map[string]func(){
+		// weight/remove on arc 0 (tail 0). After the warm-up removal wins,
+		// every measured remove exercises the common CAS-failure path.
+		"wState.weight":    func() { sinkI64 = st.weight(0, 0) },
+		"wState.remove":    func() { sinkB = st.remove(0, 0) },
+		"wState.minWeight": func() { sinkI64 = st.minWeight(1) },
+		"wState.minBlock":  func() { st.minBlock(0, len(st.active)) },
+		// Level -1 is below every weight, so the sweep removes nothing and
+		// converges in one pass — repeatable under AllocsPerRun.
+		"wState.peelLevel": func() { st.peelLevel(-1, nil, 1) },
+		"wState.peelBlock": func() { st.peelBlock(0, len(st.active)) },
+	}
+	checkZeroAlloc(t, HotPaths(), runners)
+	_, _ = sinkI64, sinkB
+}

@@ -17,7 +17,10 @@ import (
 // is what lets PWC find the [x*, y*]-core from one decomposition.
 
 // wState is the mutable arc-peeling state over a Directed: per-arc alive
-// flags (arc ids are out-CSR positions) plus atomic degree counters.
+// flags (arc ids are out-CSR positions) plus atomic degree counters. The
+// level-sweep block bodies are prebound as method values at construction
+// (with their per-call inputs staged in fields), so the //dsd:hotpath peel
+// and min-weight kernels never allocate a closure per sweep.
 type wState struct {
 	d        *graph.Directed
 	alive    []atomic.Bool
@@ -25,6 +28,14 @@ type wState struct {
 	dminus   []atomic.Int32
 	arcsLeft atomic.Int64
 	active   []int32 // vertices that may still have out-arcs (refreshed between levels)
+
+	// Staged inputs and accumulators of the prebound sweep bodies.
+	level   int64   // peel threshold of the sweep in flight
+	induce  []int64 // optional induce-number sink of the sweep in flight
+	changed atomic.Bool
+	minW    atomic.Int64
+	peelFn  func(lo, hi int)
+	minFn   func(lo, hi int)
 }
 
 func newWState(d *graph.Directed, p int) *wState {
@@ -35,6 +46,8 @@ func newWState(d *graph.Directed, p int) *wState {
 		dplus:  make([]atomic.Int32, n),
 		dminus: make([]atomic.Int32, n),
 	}
+	st.peelFn = st.peelBlock
+	st.minFn = st.minBlock
 	parallel.For(n, p, func(v int) {
 		st.dplus[v].Store(d.OutDegree(int32(v)))
 		st.dminus[v].Store(d.InDegree(int32(v)))
@@ -72,43 +85,55 @@ func (st *wState) refreshActive(p int) {
 // decrease, so a stale read can only overestimate — the peel sweeps repeat
 // to a fixpoint, which makes overestimates safe (an arc is never removed
 // above the level, only kept one sweep too long).
+//
+//dsd:hotpath
 func (st *wState) weight(u int32, a int64) int64 {
 	return int64(st.dplus[u].Load()) * int64(st.dminus[st.d.ArcHead(a)].Load())
 }
 
 // minWeight returns the minimum live arc weight, or -1 if no arcs remain.
+//
+//dsd:hotpath
 func (st *wState) minWeight(p int) int64 {
-	var min atomic.Int64
-	min.Store(int64(1) << 62)
-	parallel.ForBlocks(len(st.active), p, 256, func(lo, hi int) {
-		local := int64(1) << 62
-		for i := lo; i < hi; i++ {
-			u := st.active[i]
-			alo, ahi := st.d.OutArcRange(u)
-			du := int64(st.dplus[u].Load())
-			if du == 0 {
-				continue
-			}
-			for a := alo; a < ahi; a++ {
-				if !st.alive[a].Load() {
-					continue
-				}
-				if w := du * int64(st.dminus[st.d.ArcHead(a)].Load()); w < local {
-					local = w
-				}
-			}
-		}
-		parallel.MinInt64(&min, local)
-	})
-	if min.Load() == int64(1)<<62 {
+	st.minW.Store(int64(1) << 62)
+	parallel.ForBlocks(len(st.active), p, 256, st.minFn)
+	if st.minW.Load() == int64(1)<<62 {
 		return -1
 	}
-	return min.Load()
+	return st.minW.Load()
+}
+
+// minBlock is minWeight's block body, reached through the prebound method
+// value: it folds the block's live arc weights into a local minimum and
+// publishes it with one atomic min at the end.
+//
+//dsd:hotpath
+func (st *wState) minBlock(lo, hi int) {
+	local := int64(1) << 62
+	for i := lo; i < hi; i++ {
+		u := st.active[i]
+		alo, ahi := st.d.OutArcRange(u)
+		du := int64(st.dplus[u].Load())
+		if du == 0 {
+			continue
+		}
+		for a := alo; a < ahi; a++ {
+			if !st.alive[a].Load() {
+				continue
+			}
+			if w := du * int64(st.dminus[st.d.ArcHead(a)].Load()); w < local {
+				local = w
+			}
+		}
+	}
+	parallel.MinInt64(&st.minW, local)
 }
 
 // remove deletes arc a = (u, head) if still alive; returns whether this call
 // won the removal. Exactly one caller wins via the CAS, so degrees are
 // decremented once per arc.
+//
+//dsd:hotpath
 func (st *wState) remove(u int32, a int64) bool {
 	if !st.alive[a].CompareAndSwap(true, false) {
 		return false
@@ -125,37 +150,47 @@ func (st *wState) remove(u int32, a int64) bool {
 // vertices in parallel; removals lower neighbor degrees, which can pull
 // more arcs under the level, so sweeps repeat until one changes nothing.
 // Returns the number of sweeps.
+//
+//dsd:hotpath
 func (st *wState) peelLevel(level int64, induce []int64, p int) int {
+	st.level = level
+	st.induce = induce
 	sweeps := 0
 	for {
 		sweeps++
-		var changed atomic.Bool
-		parallel.ForBlocks(len(st.active), p, 256, func(lo, hi int) {
-			localChanged := false
-			for i := lo; i < hi; i++ {
-				u := st.active[i]
-				alo, ahi := st.d.OutArcRange(u)
-				for a := alo; a < ahi; a++ {
-					if !st.alive[a].Load() {
-						continue
-					}
-					if st.weight(u, a) <= level {
-						if st.remove(u, a) {
-							if induce != nil {
-								induce[a] = level
-							}
-							localChanged = true
-						}
-					}
-				}
-			}
-			if localChanged {
-				changed.Store(true)
-			}
-		})
-		if !changed.Load() {
+		st.changed.Store(false)
+		parallel.ForBlocks(len(st.active), p, 256, st.peelFn)
+		if !st.changed.Load() {
 			return sweeps
 		}
+	}
+}
+
+// peelBlock is peelLevel's block body, reached through the prebound method
+// value; its threshold and induce sink are staged in st.level/st.induce.
+//
+//dsd:hotpath
+func (st *wState) peelBlock(lo, hi int) {
+	localChanged := false
+	for i := lo; i < hi; i++ {
+		u := st.active[i]
+		alo, ahi := st.d.OutArcRange(u)
+		for a := alo; a < ahi; a++ {
+			if !st.alive[a].Load() {
+				continue
+			}
+			if st.weight(u, a) <= st.level {
+				if st.remove(u, a) {
+					if st.induce != nil {
+						st.induce[a] = st.level
+					}
+					localChanged = true
+				}
+			}
+		}
+	}
+	if localChanged {
+		st.changed.Store(true)
 	}
 }
 

@@ -121,6 +121,11 @@ func ForGrain(n, p, grain int, body func(i int)) {
 		recordRegion(n, grain, 1, false)
 		return
 	}
+	// The workers capture a never-reassigned copy of grain: capturing the
+	// mutated parameter itself would force it to the heap at function
+	// entry, putting one allocation on the p <= 1 inline fast path that
+	// the //dsd:hotpath kernels rely on being allocation-free.
+	step := grain
 	var t trap
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -130,12 +135,12 @@ func ForGrain(n, p, grain int, body func(i int)) {
 			defer wg.Done()
 			defer t.guard()
 			for {
-				start := int(next.Add(int64(grain))) - grain
+				start := int(next.Add(int64(step))) - step
 				if start >= n || t.pending() {
 					return
 				}
 				faultinject.Fire(faultinject.SiteParallelForChunk)
-				end := start + grain
+				end := start + step
 				if end > n {
 					end = n
 				}
@@ -170,6 +175,9 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 		recordRegion(n, grain, 1, false)
 		return
 	}
+	// step is a never-reassigned copy of grain for the workers to capture;
+	// see the matching comment in ForGrain.
+	step := grain
 	var t trap
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -179,12 +187,12 @@ func ForBlocks(n, p, grain int, body func(lo, hi int)) {
 			defer wg.Done()
 			defer t.guard()
 			for {
-				start := int(next.Add(int64(grain))) - grain
+				start := int(next.Add(int64(step))) - step
 				if start >= n || t.pending() {
 					return
 				}
 				faultinject.Fire(faultinject.SiteParallelForChunk)
-				end := start + grain
+				end := start + step
 				if end > n {
 					end = n
 				}

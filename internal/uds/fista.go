@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/graph"
-	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -46,6 +45,9 @@ func FISTA(g *graph.Undirected, iters int, eps float64, p int) Result {
 // non-increasing; iteration stops early once gap <= eps·primal, and the
 // final answer is the better of prefix rounding and fractional peeling of
 // the last iterate.
+//
+// All working vectors live in a pooled gradScratch; the per-iteration
+// kernels are //dsd:hotpath and allocate nothing.
 func FISTACtx(ctx context.Context, g *graph.Undirected, iters int, eps float64, p int, tr *trace.Trace) (Result, error) {
 	tr.SetAlgorithm("FISTA")
 	n := g.N()
@@ -69,15 +71,13 @@ func FISTACtx(ctx context.Context, g *graph.Undirected, iters int, eps float64, 
 			maxDeg = d
 		}
 	}
-	step := 1.0 / (4.0 * float64(maxDeg))
 
-	x := make([]float64, m)     // current feasible iterate
-	xPrev := make([]float64, m) // previous iterate (momentum difference)
-	y := make([]float64, m)     // momentum point the gradient is taken at
-	for i := range x {
-		x[i], xPrev[i], y[i] = 0.5, 0.5, 0.5
+	s := getGradScratch(edges, n, p)
+	defer s.release()
+	s.step = 1.0 / (4.0 * float64(maxDeg))
+	for i := range s.x {
+		s.x[i], s.xPrev[i], s.y[i] = 0.5, 0.5, 0.5
 	}
-	r := make([]float64, n)
 	tMom := 1.0
 	bestLB, bestUB := -1.0, math.Inf(1)
 	var bestSet []int32
@@ -89,36 +89,18 @@ func FISTACtx(ctx context.Context, g *graph.Undirected, iters int, eps float64, 
 			endIters()
 			return Result{}, err
 		}
-		// Gradient step at the momentum point: ∂f/∂x_i = 2(r(U) - r(V)).
-		recomputeLoads(edges, y, r, p)
-		parallel.For(m, p, func(i int) {
-			e := edges[i]
-			v := y[i] - step*2*(r[e.U]-r[e.V])
-			if v < 0 {
-				v = 0
-			} else if v > 1 {
-				v = 1
-			}
-			xPrev[i] = v // xPrev becomes the new iterate; swapped below
-		})
-		x, xPrev = xPrev, x
-		tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
-		mom := (tMom - 1) / tNext
-		parallel.For(m, p, func(i int) {
-			y[i] = x[i] + mom*(x[i]-xPrev[i])
-		})
-		tMom = tNext
+		tMom = s.fistaIterate(tMom)
 		done = k + 1
 
 		// Certificate from the feasible iterate x (not the momentum point,
 		// which can sit outside the box before projection).
-		recomputeLoads(edges, x, r, p)
-		if ub := maxLoad(r); ub < bestUB {
+		s.recomputeLoads(s.x)
+		if ub := maxLoad(s.r); ub < bestUB {
 			bestUB = ub
 		}
-		if set, lb := densestPrefix(edges, r, n); lb > bestLB {
+		if set, lb := s.densestPrefix(); lb > bestLB {
 			bestLB = lb
-			bestSet = set
+			bestSet = append(bestSet[:0], set...)
 		}
 		tr.AddConvergence(bestLB, bestUB)
 		if bestUB-bestLB <= eps*bestLB {
@@ -128,12 +110,12 @@ func FISTACtx(ctx context.Context, g *graph.Undirected, iters int, eps float64, 
 	}
 	endIters()
 
-	// r currently holds the loads of the final iterate x.
+	// s.r currently holds the loads of the final iterate x.
 	endPeel := tr.StartPhase("fractional-peeling")
-	set, density := fractionalPeel(g, edges, x, r)
+	set, density := s.fractionalPeel(g, s.x)
 	endPeel()
 	if density > bestLB {
-		bestLB, bestSet = density, set
+		bestSet = append(bestSet[:0], set...)
 	}
 	return Result{
 		Algorithm:  "FISTA",
@@ -169,18 +151,21 @@ func FracPeelCtx(ctx context.Context, g *graph.Undirected, iters, p int, tr *tra
 		iters = DefaultPFWIterations
 	}
 	edges := g.Edges()
+	s := getGradScratch(edges, n, p)
+	defer s.release()
 	endFW := tr.StartPhase("frank-wolfe")
-	alpha, r, err := frankWolfeLoads(ctx, edges, n, iters, p, tr)
+	err := s.frankWolfe(ctx, iters, tr)
 	endFW()
 	if err != nil {
 		return Result{}, err
 	}
-	prefixSet, prefixDensity := densestPrefix(edges, r, n)
+	prefixView, prefixDensity := s.densestPrefix()
+	set := append([]int32(nil), prefixView...)
 	endPeel := tr.StartPhase("fractional-peeling")
-	set, density := fractionalPeel(g, edges, alpha, r)
+	peelView, density := s.fractionalPeel(g, s.alpha)
 	endPeel()
-	if prefixDensity > density {
-		set = prefixSet
+	if density > prefixDensity {
+		set = append(set[:0], peelView...)
 	}
 	return Result{
 		Algorithm:  "FracPeel",
@@ -190,23 +175,31 @@ func FracPeelCtx(ctx context.Context, g *graph.Undirected, iters, p int, tr *tra
 	}, nil
 }
 
-// fractionalPeel rounds a fractional edge orientation (alpha[i] = share of
-// edges[i] on its U endpoint, r = the induced vertex loads) by simulating
-// the peel: repeatedly remove the vertex with the smallest current load,
-// and for each of its surviving edges subtract that edge's share from the
-// other endpoint's load. The returned set is the suffix of the removal
-// order with the highest edge density. Unlike the static prefix sweep this
-// re-ranks vertices as their neighborhoods thin out, which is what lets a
-// good fractional solution round to the exact optimum.
-func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64) (set []int32, density float64) {
+// fractionalPeel rounds a fractional edge orientation (shares[i] = share of
+// s.edges[i] on its U endpoint; s.r must hold the induced vertex loads) by
+// simulating the peel: repeatedly remove the vertex with the smallest
+// current load, and for each of its surviving edges subtract that edge's
+// share from the other endpoint's load. The returned set is the suffix of
+// the removal order with the highest edge density — a view into the
+// scratch's kept buffer, valid until the next fractionalPeel call or
+// release(). Unlike the static prefix sweep this re-ranks vertices as
+// their neighborhoods thin out, which is what lets a good fractional
+// solution round to the exact optimum.
+//
+//dsd:hotpath
+func (s *gradScratch) fractionalPeel(g *graph.Undirected, shares []float64) (set []int32, density float64) {
 	n := g.N()
-	m := len(edges)
+	m := len(s.edges)
 	if n == 0 {
 		return nil, 0
 	}
+	edges := s.edges
 
-	// CSR incidence: edge indices per vertex.
-	deg := make([]int32, n+1)
+	// CSR incidence: edge indices per vertex, built into pre-sized scratch.
+	deg := s.deg
+	for i := range deg {
+		deg[i] = 0
+	}
 	for _, e := range edges {
 		deg[e.U+1]++
 		deg[e.V+1]++
@@ -214,8 +207,9 @@ func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64)
 	for v := 0; v < n; v++ {
 		deg[v+1] += deg[v]
 	}
-	inc := make([]int32, 2*m)
-	cursor := append([]int32(nil), deg[:n]...)
+	inc := s.inc
+	cursor := s.cursor
+	copy(cursor, deg[:n])
 	for i, e := range edges {
 		inc[cursor[e.U]] = int32(i)
 		cursor[e.U]++
@@ -223,19 +217,24 @@ func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64)
 		cursor[e.V]++
 	}
 
-	load := append([]float64(nil), r...)
-	removed := make([]bool, n)
-	edgeAlive := make([]bool, m)
+	load := s.load
+	copy(load, s.r)
+	removed := s.removed
+	for i := range removed {
+		removed[i] = false
+	}
+	edgeAlive := s.edgeAlive
 	for i := range edgeAlive {
 		edgeAlive[i] = true
 	}
 
-	h := make(loadHeap, 0, n)
+	h := &s.heap
+	*h = (*h)[:0]
 	for v := 0; v < n; v++ {
 		h.push(int32(v), load[v])
 	}
 
-	order := make([]int32, 0, n)
+	order := s.peelOrder[:0]
 	edgesLeft := int64(m)
 	bestDensity := -1.0
 	bestRemoved := 0
@@ -248,7 +247,7 @@ func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64)
 			continue // stale entry; the fresher key is still queued
 		}
 		removed[v] = true
-		order = append(order, v)
+		order = append(order, v) //dsd:alloc-ok peelOrder capacity pre-sized to n in getGradScratch
 		for at := deg[v]; at < deg[v+1]; at++ {
 			i := inc[at]
 			if !edgeAlive[i] {
@@ -257,9 +256,9 @@ func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64)
 			edgeAlive[i] = false
 			edgesLeft--
 			e := edges[i]
-			other, share := e.V, 1-alpha[i]
+			other, share := e.V, 1-shares[i]
 			if e.V == v {
-				other, share = e.U, alpha[i]
+				other, share = e.U, shares[i]
 			}
 			if !removed[other] {
 				load[other] -= share
@@ -276,38 +275,42 @@ func fractionalPeel(g *graph.Undirected, edges []graph.Edge, alpha, r []float64)
 	if bestDensity < 0 {
 		// Only possible when every pop left an empty remainder (n == 1):
 		// fall back to the whole vertex set.
-		all := make([]int32, n)
+		all := s.kept[:n]
 		for v := range all {
 			all[v] = int32(v)
 		}
 		return all, g.Density()
 	}
-	kept := make([]int32, 0, n-bestRemoved)
-	isRemoved := make([]bool, n)
-	for _, v := range order[:bestRemoved] {
-		isRemoved[v] = true
+	// Re-derive the kept suffix in ascending vertex order: un-mark, then
+	// re-mark only the prefix that was peeled before the best point.
+	for i := range removed {
+		removed[i] = false
 	}
+	for _, v := range order[:bestRemoved] {
+		removed[v] = true
+	}
+	kept := s.kept[:0]
 	for v := 0; v < n; v++ {
-		if !isRemoved[v] {
-			kept = append(kept, int32(v))
+		if !removed[v] {
+			kept = append(kept, int32(v)) //dsd:alloc-ok kept capacity pre-sized to n in getGradScratch
 		}
 	}
 	return kept, bestDensity
 }
 
-// loadHeap is a lazy min-heap of (vertex, load) pairs: updated loads are
-// pushed as new entries and stale ones are skipped at pop time by comparing
-// the stored key against the live load.
-type loadHeap []struct {
+// loadEntry is one (vertex, load) pair queued in a loadHeap.
+type loadEntry struct {
 	v   int32
 	key float64
 }
 
+// loadHeap is a lazy min-heap of (vertex, load) pairs: updated loads are
+// pushed as new entries and stale ones are skipped at pop time by comparing
+// the stored key against the live load.
+type loadHeap []loadEntry
+
 func (h *loadHeap) push(v int32, key float64) {
-	*h = append(*h, struct {
-		v   int32
-		key float64
-	}{v, key})
+	*h = append(*h, loadEntry{v, key}) //dsd:alloc-ok getGradScratch pre-sizes the heap to n+m+1, the push-count ceiling
 	i := len(*h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -2,13 +2,8 @@ package uds
 
 import (
 	"context"
-	"math"
-	"sort"
 
-	"repro/internal/cancel"
 	"repro/internal/graph"
-	"repro/internal/parallel"
-	"repro/internal/trace"
 )
 
 // DefaultPFWIterations is the Frank–Wolfe iteration budget used when the
@@ -33,6 +28,9 @@ func PFW(g *graph.Undirected, iters, p int) Result {
 // PFWCtx is PFW under cooperative cancellation: ctx is polled once per
 // Frank–Wolfe sweep (each sweep is a full O(m) pass) and a wrapped
 // cancel.ErrCanceled is returned once it is done. A nil ctx never cancels.
+//
+// The sweeps and the rounding run on a pooled gradScratch (see scratch.go);
+// the per-sweep kernels are //dsd:hotpath and allocate nothing.
 func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, error) {
 	n := g.N()
 	if n == 0 {
@@ -42,140 +40,17 @@ func PFWCtx(ctx context.Context, g *graph.Undirected, iters, p int) (Result, err
 		iters = DefaultPFWIterations
 	}
 	edges := g.Edges()
-	_, r, err := frankWolfeLoads(ctx, edges, n, iters, p, nil)
-	if err != nil {
+	s := getGradScratch(edges, n, p)
+	defer s.release()
+	if err := s.frankWolfe(ctx, iters, nil); err != nil {
 		return Result{}, err
 	}
-	set, _ := densestPrefix(edges, r, n)
+	view, _ := s.densestPrefix()
+	set := append([]int32(nil), view...)
 	return Result{
 		Algorithm:  "PFW",
 		Vertices:   set,
 		Density:    g.InducedDensity(set),
 		Iterations: iters,
 	}, nil
-}
-
-// frankWolfeLoads runs the Frank–Wolfe sweeps shared by PFW and FracPeel:
-// every iteration moves each edge's load toward its currently lighter
-// endpoint with the standard 2/(t+2) step. It returns the final edge
-// shares (alpha[i] = share of edges[i] on its U endpoint) and vertex
-// loads. With a live trace it also records one duality-gap convergence
-// row per sweep (best prefix-rounded density vs best max-load bound) —
-// the untraced path skips that extra work entirely.
-func frankWolfeLoads(ctx context.Context, edges []graph.Edge, n, iters, p int, tr *trace.Trace) (alpha, r []float64, err error) {
-	m := len(edges)
-	alpha = make([]float64, m)
-	r = make([]float64, n)
-	for i := range alpha {
-		alpha[i] = 0.5
-	}
-	recomputeLoads(edges, alpha, r, p)
-	bestLB, bestUB := -1.0, math.Inf(1)
-	for t := 0; t < iters; t++ {
-		if err := cancel.Check(ctx); err != nil {
-			return nil, nil, err
-		}
-		gamma := 2.0 / float64(t+2)
-		parallel.For(m, p, func(i int) {
-			e := edges[i]
-			var target float64 // optimal share for U: all of it to the lighter endpoint
-			if r[e.U] < r[e.V] {
-				target = 1
-			} else if r[e.U] > r[e.V] {
-				target = 0
-			} else {
-				target = 0.5
-			}
-			alpha[i] = (1-gamma)*alpha[i] + gamma*target
-		})
-		recomputeLoads(edges, alpha, r, p)
-		if tr.Enabled() {
-			if ub := maxLoad(r); ub < bestUB {
-				bestUB = ub
-			}
-			if _, lb := densestPrefix(edges, r, n); lb > bestLB {
-				bestLB = lb
-			}
-			tr.AddConvergence(bestLB, bestUB)
-		}
-	}
-	return alpha, r, nil
-}
-
-// densestPrefix rounds a fractional load vector the simple way: sweep
-// vertices in decreasing-load order and keep the densest prefix.
-func densestPrefix(edges []graph.Edge, r []float64, n int) (set []int32, density float64) {
-	order := make([]int32, n)
-	for v := range order {
-		order[v] = int32(v)
-	}
-	sort.Slice(order, func(i, j int) bool { return r[order[i]] > r[order[j]] })
-	pos := make([]int32, n)
-	for i, v := range order {
-		pos[v] = int32(i)
-	}
-	prefixEdges := make([]int64, n)
-	for _, e := range edges {
-		at := pos[e.U]
-		if pos[e.V] > at {
-			at = pos[e.V]
-		}
-		prefixEdges[at]++
-	}
-	bestDensity := -1.0
-	bestLen := 1
-	var cum int64
-	for i := 0; i < n; i++ {
-		cum += prefixEdges[i]
-		if d := float64(cum) / float64(i+1); d > bestDensity {
-			bestDensity = d
-			bestLen = i + 1
-		}
-	}
-	return append([]int32(nil), order[:bestLen]...), bestDensity
-}
-
-// maxLoad returns the largest vertex load — an upper bound on the optimal
-// density, since any subgraph's density is at most the maximum load of
-// any fractional edge orientation restricted to it.
-func maxLoad(r []float64) float64 {
-	var ub float64
-	for _, v := range r {
-		if v > ub {
-			ub = v
-		}
-	}
-	return ub
-}
-
-// recomputeLoads rebuilds r(v) = sum of edge shares in parallel. Loads are
-// accumulated per block into private partials indexed by vertex — a scatter
-// with atomics would be slower under the power-law hub contention.
-func recomputeLoads(edges []graph.Edge, alpha []float64, r []float64, p int) {
-	for v := range r {
-		r[v] = 0
-	}
-	// Contention-free strategy: partition edges among workers, each worker
-	// accumulates into a private vector, then vectors are reduced. For the
-	// graph sizes here the reduction is cheap relative to the edge sweep.
-	workers := parallel.Threads(p)
-	partials := make([][]float64, workers)
-	parallel.Workers(workers, func(w int) {
-		local := make([]float64, len(r))
-		lo := len(edges) * w / workers
-		hi := len(edges) * (w + 1) / workers
-		for i := lo; i < hi; i++ {
-			e := edges[i]
-			local[e.U] += alpha[i]
-			local[e.V] += 1 - alpha[i]
-		}
-		partials[w] = local
-	})
-	parallel.For(len(r), p, func(v int) {
-		var sum float64
-		for w := 0; w < workers; w++ {
-			sum += partials[w][v]
-		}
-		r[v] = sum
-	})
 }
